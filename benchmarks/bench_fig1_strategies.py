@@ -1,0 +1,75 @@
+"""Figure 1 — Exploration strategies on a path-explosion workload.
+
+Series per strategy (dfs/bfs/random/coverage): instructions executed and
+states forked until the hidden trap of the maze kernel is found, as the
+maze depth grows.  The paper-shape expectation: DFS reaches full-depth
+paths with the least wasted work on this workload; BFS/coverage pay a
+frontier cost that grows with 2**depth.
+"""
+
+import pytest
+
+from repro.core import Engine, EngineConfig
+from repro.programs import build_kernel
+
+from _util import print_table, timed
+
+DEPTHS = [4, 6, 8, 10]
+STRATEGIES = ["dfs", "bfs", "random", "coverage"]
+SOLUTIONS = {4: 0b1011, 6: 0b101100, 8: 0b10110010, 10: 0b1011001001}
+
+
+def run_point(strategy, depth):
+    model, image = build_kernel("maze", "rv32", depth=depth,
+                                solution=SOLUTIONS[depth])
+    config = EngineConfig(max_defects=1, collect_path_inputs=False,
+                          max_states=1 << 14)
+    engine = Engine(model, config=config, strategy=strategy, seed=11)
+    engine.load_image(image)
+    result, wall = timed(engine.explore)
+    found = result.first_defect("reachable-trap") is not None
+    return found, result, wall
+
+
+def figure_rows():
+    rows = []
+    for depth in DEPTHS:
+        for strategy in STRATEGIES:
+            found, result, wall = run_point(strategy, depth)
+            rows.append([depth, strategy, "yes" if found else "NO",
+                         result.instructions_executed,
+                         result.states_forked,
+                         len(result.paths),
+                         "%.3fs" % wall])
+    return rows
+
+
+def print_report():
+    print_table(
+        "Figure 1 (series): instructions until the maze trap is found",
+        ["depth", "strategy", "found", "instructions", "forks",
+         "completed paths", "time"],
+        figure_rows())
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_strategy_to_first_trap(benchmark, strategy):
+    model, image = build_kernel("maze", "rv32", depth=6,
+                                solution=SOLUTIONS[6])
+
+    def explore():
+        config = EngineConfig(max_defects=1, collect_path_inputs=False)
+        engine = Engine(model, config=config, strategy=strategy, seed=11)
+        engine.load_image(image)
+        return engine.explore()
+
+    result = benchmark(explore)
+    assert result.first_defect("reachable-trap") is not None
+
+
+def test_print_fig1():
+    print_report()
+
+
+if __name__ == "__main__":
+    print_report()

@@ -1,0 +1,71 @@
+"""Table 2 — Defect detection matrix.
+
+For every suite case (Juliet-style CWE pattern) and every ISA: was the bad
+variant's defect detected, and did the good variant stay clean?  The
+paper-shape expectation: full detection, zero false positives, on all
+four ISAs.
+
+The pytest-benchmark target times the full bad-variant analysis per ISA
+(build + assemble + explore).
+"""
+
+import pytest
+
+from repro.programs import suite
+
+from _util import ALL_TARGETS, print_table, timed
+
+
+def matrix_rows():
+    rows = []
+    totals = {"detected": 0, "expected": 0, "false_positives": 0}
+    for case in suite.all_cases():
+        for target in ALL_TARGETS:
+            (bad_hit, bad_result, _), bad_time = timed(
+                suite.run_case, case, target, "bad")
+            (good_hit, _, _), good_time = timed(
+                suite.run_case, case, target, "good")
+            totals["expected"] += 1
+            totals["detected"] += int(bad_hit)
+            totals["false_positives"] += int(good_hit)
+            rows.append([case.name, case.cwe, target,
+                         "yes" if bad_hit else "NO",
+                         "none" if not good_hit else "FALSE-POSITIVE",
+                         "%.0f" % bad_result.instructions_executed,
+                         "%.3fs" % (bad_time + good_time)])
+    return rows, totals
+
+
+def print_report():
+    rows, totals = matrix_rows()
+    print_table(
+        "Table 2: defect detection per case and ISA",
+        ["case", "CWE", "ISA", "bad detected", "good variant",
+         "instrs", "time"],
+        rows)
+    print("\ndetected %d/%d planted defects, %d false positives"
+          % (totals["detected"], totals["expected"],
+             totals["false_positives"]))
+
+
+@pytest.mark.parametrize("target", ALL_TARGETS)
+def test_suite_bad_variants_time(benchmark, target):
+    """End-to-end time to analyze every bad variant on one ISA."""
+
+    def run_all():
+        hits = 0
+        for case in suite.all_cases():
+            detected, _, _ = suite.run_case(case, target, "bad")
+            hits += int(detected)
+        return hits
+
+    hits = benchmark(run_all)
+    assert hits == len(suite.all_cases())
+
+
+def test_print_table2():
+    print_report()
+
+
+if __name__ == "__main__":
+    print_report()

@@ -1,0 +1,91 @@
+"""Table 4 — The cost of generality: generated engine vs hand-written.
+
+The ADL-generated rv32 engine against the hand-written
+:class:`~repro.baseline.Rv32NativeEngine` (same solver substrate, same
+exploration discipline) on the same kernels.  The paper-shape expectation:
+the generated engine pays a small constant factor for interpreting IR
+instead of native dispatch — and both engines must agree exactly on paths,
+instructions and findings.
+"""
+
+import pytest
+
+from repro.baseline import Rv32NativeEngine
+from repro.core import Engine, EngineConfig
+from repro.programs import build_kernel
+
+from _util import print_table, timed
+
+WORKLOADS = [
+    ("password", {"secret": b"adl!"}),
+    ("maze", {"depth": 7, "solution": 0b1011001}),
+    ("checksum", {"length": 4, "magic": 0x2d2d}),
+    ("bsearch", {}),
+]
+
+
+def run_pair(kernel, params):
+    model, image = build_kernel(kernel, "rv32", **params)
+
+    def native():
+        engine = Rv32NativeEngine()
+        engine.load_image(image)
+        return engine.explore()
+
+    def generated():
+        engine = Engine(model, config=EngineConfig(
+            collect_path_inputs=False))
+        engine.load_image(image)
+        return engine.explore()
+
+    native_result, native_time = timed(native)
+    generated_result, generated_time = timed(generated)
+    return native_result, native_time, generated_result, generated_time
+
+
+def table_rows():
+    rows = []
+    for kernel, params in WORKLOADS:
+        nr, nt, gr, gt = run_pair(kernel, params)
+        agree = (len(nr.paths) == len(gr.paths)
+                 and nr.instructions_executed == gr.instructions_executed)
+        rows.append([kernel, nr.instructions_executed,
+                     "%.3fs" % nt, "%.3fs" % gt,
+                     "%.2fx" % (gt / nt if nt else float("nan")),
+                     "yes" if agree else "NO"])
+    return rows
+
+
+def print_report():
+    print_table(
+        "Table 4: hand-written rv32 engine vs ADL-generated engine",
+        ["kernel", "instrs", "native", "generated", "slowdown",
+         "results agree"],
+        table_rows())
+
+
+@pytest.mark.parametrize("flavor", ["native", "generated"])
+def test_maze_engines(benchmark, flavor):
+    model, image = build_kernel("maze", "rv32", depth=6)
+
+    def native():
+        engine = Rv32NativeEngine()
+        engine.load_image(image)
+        return engine.explore()
+
+    def generated():
+        engine = Engine(model,
+                        config=EngineConfig(collect_path_inputs=False))
+        engine.load_image(image)
+        return engine.explore()
+
+    result = benchmark(native if flavor == "native" else generated)
+    assert len(result.paths) == 63
+
+
+def test_print_table4():
+    print_report()
+
+
+if __name__ == "__main__":
+    print_report()

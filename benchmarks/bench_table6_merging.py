@@ -1,0 +1,76 @@
+"""Table 6 (extension) — State merging (veritesting-lite).
+
+The diamonds kernel is n independent branch diamonds feeding one
+accumulator: 2**n paths without merging.  With
+``EngineConfig(merge_states=True)`` under BFS scheduling (both arms must
+be in the frontier at the join), register differences become ``ite``
+terms and the path count collapses to O(n).
+
+Expected shape: exponential vs linear growth in paths/instructions/time;
+identical findings (the trap and its replayable input) either way.
+"""
+
+import pytest
+
+from repro.core import Engine, EngineConfig
+from repro.programs import build_kernel
+
+from _util import print_table, timed
+
+COUNTS = [6, 8, 10, 12]
+
+
+def run_point(count, merge):
+    model, image = build_kernel("diamonds", "rv32", count=count)
+    config = EngineConfig(collect_path_inputs=False, merge_states=merge)
+    engine = Engine(model, config=config, strategy="bfs")
+    engine.load_image(image)
+    result, wall = timed(engine.explore)
+    merges = engine.strategy.merges if merge else 0
+    return result, wall, merges
+
+
+def table_rows():
+    rows = []
+    for count in COUNTS:
+        plain, plain_time, _ = run_point(count, False)
+        merged, merged_time, merges = run_point(count, True)
+        plain_trap = plain.first_defect("reachable-trap") is not None
+        merged_trap = merged.first_defect("reachable-trap") is not None
+        rows.append([
+            count,
+            len(plain.paths), "%.2fs" % plain_time,
+            len(merged.paths), "%.2fs" % merged_time,
+            merges,
+            "%.1fx" % (plain_time / merged_time if merged_time else 0),
+            "yes" if plain_trap and merged_trap else "NO",
+        ])
+    return rows
+
+
+def print_report():
+    print_table(
+        "Table 6: path explosion with and without state merging "
+        "(diamonds kernel, BFS)",
+        ["diamonds", "paths plain", "time plain", "paths merged",
+         "time merged", "merges", "speedup", "trap found (both)"],
+        table_rows())
+
+
+@pytest.mark.parametrize("merge", [False, True],
+                         ids=["plain", "merged"])
+def test_diamonds_exploration(benchmark, merge):
+    def run():
+        result, _, _ = run_point(8, merge)
+        return result
+
+    result = benchmark(run)
+    assert result.first_defect("reachable-trap") is not None
+
+
+def test_print_table6():
+    print_report()
+
+
+if __name__ == "__main__":
+    print_report()

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""The retargeting demo: add a brand-new ISA and get a symbolic engine.
+
+This is the paper's headline claim, live: describe a never-seen-before
+architecture in ~60 lines of ADL, and *without writing any engine code*
+obtain an assembler, decoder, disassembler, concrete simulator, and a
+bug-finding symbolic executor for it.
+
+The toy ISA here ("stk8") is a little 8-bit-word stack-flavoured machine
+with an accumulator — deliberately unlike the four built-in ISAs.
+
+Run:  python examples/new_isa_tutorial.py
+"""
+
+from repro.adl import analyze, parse_spec
+from repro.core import Engine
+from repro.isa import assemble, format_instruction, run_image
+from repro.isa.model import ArchModel
+
+STK8_ADL = """
+# stk8: an 8-bit accumulator machine with a tiny stack in registers.
+architecture stk8 {
+  wordsize 8
+  endian little
+
+  regfile s[4] width 8 prefix "s"     # a 4-slot "stack"
+  register acc width 8                # accumulator
+  pc width 8
+
+  encoding op0 { op:8 }               # 1 byte
+  encoding op1 { imm:8 op:8 }         # 2 bytes: op, imm
+
+  instruction lda {                   # acc = imm
+    encoding op1
+    match op = 0x01
+    syntax "lda {imm}"
+    semantics { acc = imm; }
+  }
+  instruction push {                  # shift the stack, push acc
+    encoding op0
+    match op = 0x02
+    syntax "push"
+    semantics {
+      s[3] = s[2];
+      s[2] = s[1];
+      s[1] = s[0];
+      s[0] = acc;
+    }
+  }
+  instruction addt {                  # acc += top of stack
+    encoding op0
+    match op = 0x03
+    syntax "addt"
+    semantics { acc = acc + s[0]; }
+  }
+  instruction read {                  # acc = input byte
+    encoding op0
+    match op = 0x04
+    syntax "read"
+    semantics {
+      local b:8 = in();
+      acc = b;
+    }
+  }
+  instruction beqi {                  # branch if acc == imm
+    encoding op1
+    match op = 0x05
+    operand tgt = imm
+    syntax "beqi {tgt}"
+    semantics { if (acc == extract(tgt, 7, 0)) { pc = tgt; } }
+  }
+  instruction jmp {
+    encoding op1
+    match op = 0x06
+    operand tgt = imm
+    syntax "jmp {tgt}"
+    semantics { pc = tgt; }
+  }
+  instruction emit {
+    encoding op0
+    match op = 0x07
+    syntax "emit"
+    semantics { out(acc); }
+  }
+  instruction die {
+    encoding op1
+    match op = 0x08
+    syntax "die {imm}"
+    semantics { trap(imm); }
+  }
+  instruction done {
+    encoding op1
+    match op = 0x09
+    syntax "done {imm}"
+    semantics { halt(imm); }
+  }
+}
+"""
+
+# A guarded "bug": reachable only when two input bytes sum to 77.
+PROGRAM = """
+.org 0x10
+.entry start
+start:
+    read
+    push
+    read
+    addt            # acc = in0 + in1
+    beqi secret     # taken iff acc == address of 'secret' (see below)
+    done 0
+secret:
+    die 9
+"""
+
+
+def main():
+    # 1. Parse + check the ADL, build the full toolchain.
+    spec = analyze(parse_spec(STK8_ADL))
+    model = ArchModel(spec)
+    print("built ISA %r: %d instructions, %d-bit words"
+          % (model.name, len(model.instructions), model.wordsize))
+
+    # 2. The generated assembler works immediately.
+    image = assemble(model, PROGRAM, base=0x10)
+    print("assembled %d bytes; 'secret' is at %#x"
+          % (len(image.data), image.symbols["secret"]))
+
+    # 3. So does the generated disassembler.
+    window = bytes(image.data[:2])
+    print("first instruction:",
+          format_instruction(model, model.decoder.decode_bytes(window,
+                                                               0x10)))
+
+    # 4. And the generated *symbolic executor* finds the guarded trap.
+    engine = Engine(model)
+    engine.load_image(image)
+    result = engine.explore()
+    defect = result.first_defect("reachable-trap")
+    print("\nsymbolic execution: %d paths, defect: %s"
+          % (len(result.paths), defect))
+    in0, in1 = defect.input_bytes[0], defect.input_bytes[1]
+    target = image.symbols["secret"]
+    print("solver found %d + %d == %#x (the branch target)"
+          % (in0, in1, target))
+    assert (in0 + in1) & 0xff == target
+
+    # 5. Concrete replay on the generated simulator confirms.
+    sim = run_image(model, image, input_bytes=defect.input_bytes)
+    print("concrete replay: trapped=%s code=%s" % (sim.trapped,
+                                                   sim.trap_code))
+    assert sim.trapped and sim.trap_code == 9
+    print("\nOK — a new ISA got a working symbolic engine from ~60 ADL "
+          "lines.")
+
+
+if __name__ == "__main__":
+    main()

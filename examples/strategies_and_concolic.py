@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Exploration strategies and concolic mode on a path-explosion workload.
+
+Runs the maze kernel (2**depth complete paths, one hidden trap) under the
+four exploration strategies and under generational concolic search, and
+reports how many instructions each needed before the trap was found.
+
+Run:  python examples/strategies_and_concolic.py
+"""
+
+from repro.core import Engine, EngineConfig
+from repro.core.concolic import ConcolicExplorer
+from repro.programs import build_kernel
+
+DEPTH = 7
+SOLUTION = 0b1011001
+
+
+def run_strategy(strategy):
+    model, image = build_kernel("maze", "rv32", depth=DEPTH,
+                                solution=SOLUTION)
+    config = EngineConfig(max_defects=1)      # stop at the trap
+    engine = Engine(model, config=config, strategy=strategy, seed=7)
+    engine.load_image(image)
+    result = engine.explore()
+    found = result.first_defect("reachable-trap") is not None
+    return found, result
+
+
+def run_concolic():
+    model, image = build_kernel("maze", "rv32", depth=DEPTH,
+                                solution=SOLUTION)
+    engine = Engine(model, config=EngineConfig(max_defects=1))
+    engine.load_image(image)
+    explorer = ConcolicExplorer(engine)
+    result = explorer.explore(seed=bytes(DEPTH), max_runs=300)
+    found = result.first_defect("reachable-trap") is not None
+    return found, result, len(explorer.runs)
+
+
+def main():
+    print("maze(depth=%d): %d complete paths, one trap\n"
+          % (DEPTH, 2 ** DEPTH))
+    print("%-10s %-7s %14s %9s %9s" % ("strategy", "found",
+                                       "instructions", "paths", "forks"))
+    print("-" * 55)
+    for strategy in ("dfs", "bfs", "random", "coverage"):
+        found, result = run_strategy(strategy)
+        print("%-10s %-7s %14d %9d %9d"
+              % (strategy, found, result.instructions_executed,
+                 len(result.paths), result.states_forked))
+    found, result, runs = run_concolic()
+    print("%-10s %-7s %14d %9s %9s"
+          % ("concolic", found, result.instructions_executed,
+             "%d runs" % runs, "-"))
+
+    defect = result.first_defect("reachable-trap")
+    if defect:
+        bits = "".join(str(b & 1) for b in defect.input_bytes[:DEPTH])
+        print("\ntrap input bits: %s (solution %s)"
+              % (bits, format(SOLUTION, "0%db" % DEPTH)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim so editable installs work without network/build isolation."""
+
+from setuptools import setup
+
+setup()

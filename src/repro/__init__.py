@@ -1,0 +1,69 @@
+"""repro — ADL-based retargetable symbolic execution.
+
+A from-scratch reproduction of *"Architecture description language based
+retargetable symbolic execution"* (A. Ibing, DATE 2015).  One symbolic
+execution engine is generated from per-ISA architecture descriptions:
+decoder, assembler, disassembler, concrete simulator and symbolic
+semantics all derive from a few hundred lines of ADL per target.
+
+Quickstart::
+
+    from repro import build, assemble, Engine
+
+    model = build("rv32")                     # generated ISA model
+    image = assemble(model, '''
+    .org 0x1000
+    start:
+        inb x1
+        addi x2, x0, 42
+        bne x1, x2, ok
+        trap 1
+    ok: halt 0
+    .entry start
+    ''')
+    engine = Engine(model)
+    engine.load_image(image)
+    result = engine.explore()
+    print(result.summary())                   # trap found with input b'*'
+
+Subpackages: :mod:`repro.smt` (bitvector solver), :mod:`repro.adl` (the
+description language), :mod:`repro.ir` (register-transfer IR),
+:mod:`repro.isa` (generated models/tools), :mod:`repro.core` (the symbolic
+engine), :mod:`repro.programs` (workloads), :mod:`repro.baseline`
+(hand-written comparison engine).
+"""
+
+from . import adl, baseline, core, ir, isa, programs, smt  # noqa: F401
+from .adl import builtin_spec_names, load_builtin_spec  # noqa: F401
+from .core import (  # noqa: F401
+    ConcolicExplorer,
+    Defect,
+    Engine,
+    EngineConfig,
+    ExplorationResult,
+    PathResult,
+)
+from .isa import (  # noqa: F401
+    ArchModel,
+    Assembler,
+    Image,
+    MachineState,
+    Simulator,
+    assemble,
+    build,
+    format_instruction,
+    run_image,
+)
+from .smt import Solver  # noqa: F401
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "adl", "baseline", "core", "ir", "isa", "programs", "smt",
+    "ArchModel", "Assembler", "ConcolicExplorer", "Defect", "Engine",
+    "EngineConfig", "ExplorationResult", "Image", "MachineState",
+    "PathResult", "Simulator", "Solver",
+    "assemble", "build", "builtin_spec_names", "format_instruction",
+    "load_builtin_spec", "run_image",
+]

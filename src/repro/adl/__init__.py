@@ -1,0 +1,39 @@
+"""The architecture description language (ADL) front end.
+
+Pipeline: :func:`parse_spec` (text -> AST) -> :func:`analyze`
+(consistency + encoding layout + decode-ambiguity checks) ->
+:func:`translate_instruction` (semantics -> IR).  The built-in ISA specs
+live in ``repro/adl/specs/`` and are loaded via :func:`load_builtin_spec`.
+"""
+
+import os
+
+from . import ast  # noqa: F401
+from .analyze import DecodePattern, analyze, syntax_placeholders  # noqa: F401
+from .errors import AdlError, AdlSemanticError, AdlSyntaxError  # noqa: F401
+from .lexer import Token, TokenStream, tokenize  # noqa: F401
+from .parser import parse_spec  # noqa: F401
+from .translate import translate_instruction  # noqa: F401
+
+_SPEC_DIR = os.path.join(os.path.dirname(__file__), "specs")
+
+
+def builtin_spec_names():
+    """Names of the ADL specs shipped with the library."""
+    return sorted(name[:-4] for name in os.listdir(_SPEC_DIR)
+                  if name.endswith(".adl"))
+
+
+def builtin_spec_path(name):
+    """Filesystem path of a built-in spec (for Table 1's line counts)."""
+    path = os.path.join(_SPEC_DIR, name + ".adl")
+    if not os.path.exists(path):
+        raise AdlError("no built-in spec named %r (have: %s)"
+                       % (name, ", ".join(builtin_spec_names())))
+    return path
+
+
+def load_builtin_spec(name):
+    """Parse and analyze a built-in spec by name ('rv32', 'mips32', ...)."""
+    with open(builtin_spec_path(name)) as handle:
+        return analyze(parse_spec(handle.read()))

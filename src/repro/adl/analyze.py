@@ -1,0 +1,260 @@
+"""Semantic analysis of a parsed architecture description.
+
+Checks everything that can be checked before semantics translation:
+declaration consistency, encoding layouts, match/operand/field references,
+and — crucially for a generated decoder — that the instruction encodings are
+*unambiguous*: no two instructions can match the same byte sequence.
+
+On success the spec is annotated in place: encoding fields get their bit
+offsets, operands get widths, and each instruction gets a
+:class:`DecodePattern` with its ``(length, mask, match)`` triple in fetch
+order.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from . import ast as A
+from .errors import AdlSemanticError
+
+__all__ = ["analyze", "DecodePattern", "syntax_placeholders"]
+
+_PLACEHOLDER_RE = re.compile(r"\{([a-zA-Z_][a-zA-Z_0-9]*)(?::([a-zA-Z_][a-zA-Z_0-9]*))?\}")
+
+
+class DecodePattern:
+    """Fixed-bit pattern of one instruction in *fetch order*.
+
+    ``length`` is in bytes; ``mask``/``match`` are integers over the
+    ``8*length``-bit instruction word as assembled from memory bytes in the
+    architecture's endianness.
+    """
+
+    def __init__(self, length: int, mask_bits: int, match_bits: int):
+        self.length = length
+        self.mask = mask_bits
+        self.match = match_bits
+
+    def matches(self, word: int) -> bool:
+        return (word & self.mask) == self.match
+
+    def __repr__(self):
+        return "DecodePattern(len=%d, mask=%#x, match=%#x)" % (
+            self.length, self.mask, self.match)
+
+
+def syntax_placeholders(syntax: str):
+    """Yield ``(name, kind)`` for every ``{name}`` / ``{name:kind}``."""
+    for found in _PLACEHOLDER_RE.finditer(syntax):
+        yield found.group(1), found.group(2)
+
+
+def analyze(spec: A.ArchSpec) -> A.ArchSpec:
+    """Check and annotate ``spec`` in place; returns it for chaining."""
+    _check_globals(spec)
+    _layout_encodings(spec)
+    names = set()
+    for instr in spec.instructions:
+        if instr.name in names:
+            raise AdlSemanticError("duplicate instruction %r" % instr.name,
+                                   instr.line)
+        names.add(instr.name)
+        _check_instruction(spec, instr)
+    _check_decode_ambiguity(spec)
+    return spec
+
+
+def _check_globals(spec: A.ArchSpec) -> None:
+    if spec.wordsize <= 0 or spec.wordsize > 64:
+        raise AdlSemanticError(
+            "architecture %r needs a wordsize in 1..64" % spec.name)
+    if spec.pc is None:
+        raise AdlSemanticError("architecture %r declares no pc" % spec.name)
+    for regfile in spec.regfiles.values():
+        if regfile.count <= 0:
+            raise AdlSemanticError("regfile %r has no registers"
+                                   % regfile.name, regfile.line)
+        if regfile.width <= 0:
+            raise AdlSemanticError("regfile %r has non-positive width"
+                                   % regfile.name, regfile.line)
+        if regfile.zero_index is not None and not (
+                0 <= regfile.zero_index < regfile.count):
+            raise AdlSemanticError("regfile %r zero index out of range"
+                                   % regfile.name, regfile.line)
+    for reg in spec.registers.values():
+        if reg.name in spec.regfiles:
+            raise AdlSemanticError("register %r collides with a regfile"
+                                   % reg.name, reg.line)
+        if reg.width <= 0:
+            raise AdlSemanticError("register %r has non-positive width"
+                                   % reg.name, reg.line)
+    if "pc" in spec.regfiles or "pc" in spec.registers:
+        raise AdlSemanticError("'pc' may not also be a register name")
+    for alias in spec.aliases:
+        regfile = spec.regfiles.get(alias.regfile)
+        if regfile is None:
+            raise AdlSemanticError("alias %r references unknown regfile %r"
+                                   % (alias.alias, alias.regfile), alias.line)
+        if not (0 <= alias.index < regfile.count):
+            raise AdlSemanticError("alias %r index out of range"
+                                   % alias.alias, alias.line)
+
+
+def _layout_encodings(spec: A.ArchSpec) -> None:
+    for enc in spec.encodings.values():
+        if enc.total_bits % 8 != 0:
+            raise AdlSemanticError(
+                "encoding %r is %d bits, not a multiple of 8"
+                % (enc.name, enc.total_bits), enc.line)
+        if enc.total_bits > 64:
+            raise AdlSemanticError("encoding %r wider than 64 bits"
+                                   % enc.name, enc.line)
+        seen = set()
+        # Fields are written MSB first: the first one sits at the top.
+        position = enc.total_bits
+        for field in enc.fields:
+            if field.width <= 0:
+                raise AdlSemanticError(
+                    "field %r in encoding %r has non-positive width"
+                    % (field.name, enc.name), enc.line)
+            if field.name in seen:
+                raise AdlSemanticError(
+                    "duplicate field %r in encoding %r"
+                    % (field.name, enc.name), enc.line)
+            seen.add(field.name)
+            position -= field.width
+            field.lsb = position
+        if position != 0:
+            raise AdlSemanticError("internal layout error in encoding %r"
+                                   % enc.name, enc.line)
+
+
+def _check_instruction(spec: A.ArchSpec, instr: A.InstrDecl) -> None:
+    enc = spec.encodings.get(instr.encoding)
+    if enc is None:
+        raise AdlSemanticError("instruction %r uses unknown encoding %r"
+                               % (instr.name, instr.encoding), instr.line)
+    field_names = {f.name for f in enc.fields}
+    for field_name, value in instr.match.items():
+        field = enc.field(field_name)
+        if field is None:
+            raise AdlSemanticError(
+                "instruction %r matches unknown field %r"
+                % (instr.name, field_name), instr.line)
+        if value < 0 or value >= (1 << field.width):
+            raise AdlSemanticError(
+                "match value %#x does not fit field %r (%d bits)"
+                % (value, field_name, field.width), instr.line)
+    operand_names = set()
+    for operand in instr.operands:
+        if operand.name in field_names:
+            raise AdlSemanticError(
+                "operand %r shadows an encoding field" % operand.name,
+                operand.line)
+        if operand.name in operand_names:
+            raise AdlSemanticError("duplicate operand %r" % operand.name,
+                                   operand.line)
+        operand_names.add(operand.name)
+        width = 0
+        for part in operand.parts:
+            if part.field_name is None:
+                width += part.zero_bits
+                continue
+            field = enc.field(part.field_name)
+            if field is None:
+                raise AdlSemanticError(
+                    "operand %r references unknown field %r"
+                    % (operand.name, part.field_name), operand.line)
+            if part.field_name in instr.match:
+                raise AdlSemanticError(
+                    "operand %r uses matched (fixed) field %r"
+                    % (operand.name, part.field_name), operand.line)
+            width += field.width
+        operand.width = width
+        if width <= 0:
+            raise AdlSemanticError("operand %r is empty" % operand.name,
+                                   operand.line)
+    _check_syntax(spec, instr, field_names, operand_names)
+    # The decode pattern in fetch order, stored on the instruction.
+    instr.pattern = _build_pattern(spec, instr, enc)
+
+
+def _check_syntax(spec: A.ArchSpec, instr: A.InstrDecl,
+                  field_names, operand_names) -> None:
+    placeholder_seen = set()
+    for name, kind in syntax_placeholders(instr.syntax):
+        if name in placeholder_seen:
+            raise AdlSemanticError(
+                "instruction %r syntax repeats placeholder %r"
+                % (instr.name, name), instr.line)
+        placeholder_seen.add(name)
+        if name not in field_names and name not in operand_names:
+            raise AdlSemanticError(
+                "instruction %r syntax references unknown %r"
+                % (instr.name, name), instr.line)
+        if name in instr.match:
+            raise AdlSemanticError(
+                "instruction %r syntax references fixed field %r"
+                % (instr.name, name), instr.line)
+        if kind is not None and kind not in spec.regfiles:
+            raise AdlSemanticError(
+                "instruction %r placeholder {%s:%s} names unknown regfile"
+                % (instr.name, name, kind), instr.line)
+        if kind is not None and name in operand_names:
+            raise AdlSemanticError(
+                "instruction %r placeholder %r: operands cannot be "
+                "register-typed" % (instr.name, name), instr.line)
+    # Every free (non-fixed) field must be recoverable from the syntax,
+    # either directly or through an operand, or the assembler cannot encode.
+    covered = set(placeholder_seen)
+    for operand in instr.operands:
+        if operand.name in placeholder_seen:
+            for part in operand.parts:
+                if part.field_name is not None:
+                    covered.add(part.field_name)
+    enc = spec.encodings[instr.encoding]
+    for field in enc.fields:
+        if field.name not in instr.match and field.name not in covered:
+            raise AdlSemanticError(
+                "instruction %r leaves field %r unconstrained and "
+                "unreferenced by its syntax" % (instr.name, field.name),
+                instr.line)
+
+
+def _build_pattern(spec: A.ArchSpec, instr: A.InstrDecl,
+                   enc: A.EncodingDecl) -> DecodePattern:
+    mask = 0
+    match = 0
+    for field_name, value in instr.match.items():
+        field = enc.field(field_name)
+        mask |= ((1 << field.width) - 1) << field.lsb
+        match |= value << field.lsb
+    return DecodePattern(enc.total_bits // 8, mask, match)
+
+
+def _fetch_prefix(pattern: DecodePattern, prefix_bytes: int,
+                  endian: str) -> tuple:
+    """(mask, match) restricted to the first ``prefix_bytes`` fetched."""
+    bits = 8 * prefix_bytes
+    if endian == "little":
+        keep = (1 << bits) - 1
+        return pattern.mask & keep, pattern.match & keep
+    shift = 8 * pattern.length - bits
+    return pattern.mask >> shift, pattern.match >> shift
+
+
+def _check_decode_ambiguity(spec: A.ArchSpec) -> None:
+    instrs = spec.instructions
+    for i, first in enumerate(instrs):
+        for second in instrs[i + 1:]:
+            pattern_a, pattern_b = first.pattern, second.pattern
+            prefix = min(pattern_a.length, pattern_b.length)
+            mask_a, match_a = _fetch_prefix(pattern_a, prefix, spec.endian)
+            mask_b, match_b = _fetch_prefix(pattern_b, prefix, spec.endian)
+            common = mask_a & mask_b
+            if (match_a & common) == (match_b & common):
+                raise AdlSemanticError(
+                    "instructions %r and %r have overlapping encodings"
+                    % (first.name, second.name), second.line)

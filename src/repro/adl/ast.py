@@ -1,0 +1,318 @@
+"""Object model of a parsed architecture description.
+
+The parser produces an :class:`ArchSpec`; :mod:`repro.adl.analyze` checks it
+and :mod:`repro.adl.translate` lowers instruction semantics to IR.  These
+classes are deliberately dumb containers — behaviour lives in the passes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ArchSpec", "RegFileDecl", "RegDecl", "PcDecl", "AliasDecl",
+    "EncodingDecl", "EncodingField", "InstrDecl", "OperandDecl",
+    "OperandPart",
+    "SExpr", "SLit", "SName", "SIndex", "SBin", "SUn", "SCall", "STernary",
+    "SStmt", "ALocal", "AAssign", "AIf", "AStore", "AOut", "AHalt", "ATrap",
+]
+
+
+class RegFileDecl:
+    """``regfile x[32] width 32 prefix "x" zero 0``"""
+
+    def __init__(self, name: str, count: int, width: int,
+                 prefix: Optional[str] = None, zero_index: Optional[int] = None,
+                 line: int = 0):
+        self.name = name
+        self.count = count
+        self.width = width
+        self.prefix = prefix if prefix is not None else name
+        self.zero_index = zero_index
+        self.line = line
+
+
+class RegDecl:
+    """``register N width 1`` — a single named register (flags etc.)."""
+
+    def __init__(self, name: str, width: int, line: int = 0):
+        self.name = name
+        self.width = width
+        self.line = line
+
+
+class PcDecl:
+    """``pc width 32`` — the program counter."""
+
+    def __init__(self, name: str, width: int, line: int = 0):
+        self.name = name
+        self.width = width
+        self.line = line
+
+
+class AliasDecl:
+    """``alias sp = x[2]`` — assembler-level register alias."""
+
+    def __init__(self, alias: str, regfile: str, index: int, line: int = 0):
+        self.alias = alias
+        self.regfile = regfile
+        self.index = index
+        self.line = line
+
+
+class EncodingField:
+    """One named field in an encoding layout (given MSB-first in the spec)."""
+
+    def __init__(self, name: str, width: int):
+        self.name = name
+        self.width = width
+        # Filled by the analyzer: bit offset of the field's LSB.
+        self.lsb = -1
+
+
+class EncodingDecl:
+    """``encoding rtype { funct7:7 rs2:5 rs1:5 funct3:3 rd:5 opcode:7 }``"""
+
+    def __init__(self, name: str, fields: Sequence[EncodingField],
+                 line: int = 0):
+        self.name = name
+        self.fields = list(fields)
+        self.line = line
+        self.total_bits = sum(f.width for f in fields)
+
+    def field(self, name: str) -> Optional[EncodingField]:
+        for field in self.fields:
+            if field.name == name:
+                return field
+        return None
+
+
+class OperandPart:
+    """One component of an operand concatenation: a field or zero padding."""
+
+    def __init__(self, field_name: Optional[str], zero_bits: int = 0):
+        self.field_name = field_name     # None -> zero padding
+        self.zero_bits = zero_bits
+
+
+class OperandDecl:
+    """``operand off = hi :: lo :: 0[1] signed pcrel``
+
+    The operand value is the MSB-first concatenation of its parts; ``signed``
+    tells the assembler to range-check as two's complement, ``pcrel`` makes
+    the assembler encode ``label - instruction_address``.
+    """
+
+    def __init__(self, name: str, parts: Sequence[OperandPart],
+                 signed: bool = False, pcrel: bool = False,
+                 pcrel_base: int = 0, line: int = 0):
+        self.name = name
+        self.parts = list(parts)
+        self.signed = signed
+        self.pcrel = pcrel
+        # Encoded value = label - (instruction_address + pcrel_base);
+        # e.g. MIPS-style ISAs use base 4 (relative to the next instruction).
+        self.pcrel_base = pcrel_base
+        self.line = line
+        # Filled by the analyzer once field widths are known.
+        self.width = 0
+
+
+class InstrDecl:
+    """One ``instruction`` block."""
+
+    def __init__(self, name: str, encoding: str,
+                 match: Dict[str, int], syntax: str,
+                 operands: Sequence[OperandDecl],
+                 semantics: Sequence["SStmt"], line: int = 0):
+        self.name = name
+        self.encoding = encoding
+        self.match = dict(match)
+        self.syntax = syntax
+        self.operands = list(operands)
+        self.semantics = list(semantics)
+        self.line = line
+
+
+class ArchSpec:
+    """A complete parsed architecture description."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.wordsize: int = 0
+        self.endian: str = "little"
+        self.regfiles: Dict[str, RegFileDecl] = {}
+        self.registers: Dict[str, RegDecl] = {}
+        self.pc: Optional[PcDecl] = None
+        self.aliases: List[AliasDecl] = []
+        self.encodings: Dict[str, EncodingDecl] = {}
+        self.instructions: List[InstrDecl] = []
+
+    def instruction(self, name: str) -> Optional[InstrDecl]:
+        for instr in self.instructions:
+            if instr.name == name:
+                return instr
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Semantics-language AST (expressions)
+# ---------------------------------------------------------------------------
+
+class SExpr:
+    __slots__ = ("line",)
+
+    def __init__(self, line: int = 0):
+        self.line = line
+
+
+class SLit(SExpr):
+    """Integer literal; width adapts to context during translation."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, line: int = 0):
+        super().__init__(line)
+        self.value = value
+
+
+class SName(SExpr):
+    """Reference to pc, a register, a field/operand, or a local."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, line: int = 0):
+        super().__init__(line)
+        self.name = name
+
+
+class SIndex(SExpr):
+    """``x[expr]`` — register-file element."""
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, name: str, index: SExpr, line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.index = index
+
+
+class SBin(SExpr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: SExpr, right: SExpr, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class SUn(SExpr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: SExpr, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class SCall(SExpr):
+    """Builtin call: sext/zext/extract/concat/load/in."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[SExpr], line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.args = list(args)
+
+
+class STernary(SExpr):
+    __slots__ = ("cond", "then", "other")
+
+    def __init__(self, cond: SExpr, then: SExpr, other: SExpr, line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.other = other
+
+
+# ---------------------------------------------------------------------------
+# Semantics-language AST (statements)
+# ---------------------------------------------------------------------------
+
+class SStmt:
+    __slots__ = ("line",)
+
+    def __init__(self, line: int = 0):
+        self.line = line
+
+
+class ALocal(SStmt):
+    """``local t:32 = expr;``"""
+
+    __slots__ = ("name", "width", "value")
+
+    def __init__(self, name: str, width: int, value: SExpr, line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.width = width
+        self.value = value
+
+
+class AAssign(SStmt):
+    """``target = expr;`` where target is pc, a register, or x[i]."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: SExpr, value: SExpr, line: int = 0):
+        super().__init__(line)
+        self.target = target
+        self.value = value
+
+
+class AIf(SStmt):
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(self, cond: SExpr, then_body: Sequence[SStmt],
+                 else_body: Sequence[SStmt] = (), line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.then_body = list(then_body)
+        self.else_body = list(else_body)
+
+
+class AStore(SStmt):
+    """``store(addr, value, size);``"""
+
+    __slots__ = ("addr", "value", "size")
+
+    def __init__(self, addr: SExpr, value: SExpr, size: int, line: int = 0):
+        super().__init__(line)
+        self.addr = addr
+        self.value = value
+        self.size = size
+
+
+class AOut(SStmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value: SExpr, line: int = 0):
+        super().__init__(line)
+        self.value = value
+
+
+class AHalt(SStmt):
+    __slots__ = ("code",)
+
+    def __init__(self, code: SExpr, line: int = 0):
+        super().__init__(line)
+        self.code = code
+
+
+class ATrap(SStmt):
+    __slots__ = ("code",)
+
+    def __init__(self, code: SExpr, line: int = 0):
+        super().__init__(line)
+        self.code = code

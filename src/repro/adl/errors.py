@@ -1,0 +1,24 @@
+"""Errors raised by the ADL front end, with source locations."""
+
+from __future__ import annotations
+
+__all__ = ["AdlError", "AdlSyntaxError", "AdlSemanticError"]
+
+
+class AdlError(Exception):
+    """Base class for ADL specification errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = "line %d:%d: %s" % (line, column, message)
+        super().__init__(message)
+
+
+class AdlSyntaxError(AdlError):
+    """The spec text does not parse."""
+
+
+class AdlSemanticError(AdlError):
+    """The spec parses but is inconsistent (widths, encodings, names)."""

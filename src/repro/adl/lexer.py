@@ -1,0 +1,194 @@
+"""Tokenizer for the architecture description language.
+
+The ADL is line-comment based (``#``), whitespace-insensitive, with C-like
+operators plus the signed-suffixed comparison/shift family (``<s``, ``<=s``,
+``>s``, ``>=s``, ``>>s``, ``/s``, ``%s``) the semantics language uses to
+distinguish signed from unsigned operations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional
+
+from .errors import AdlSyntaxError
+
+__all__ = ["Token", "tokenize", "TokenStream"]
+
+
+class Token(NamedTuple):
+    kind: str       # 'name', 'int', 'string', 'char', 'op', 'eof'
+    text: str
+    value: object   # int for 'int'/'char', str otherwise
+    line: int
+    column: int
+
+
+# Longest-match first.
+_OPERATORS = [
+    "<=s", ">=s", ">>s",
+    "::", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+    "<s", ">s", "/s", "%s",
+    "{", "}", "[", "]", "(", ")", "=", ",", ";", ":", "?",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "@",
+]
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyz"
+                  "ABCDEFGHIJKLMNOPQRSTUVWXYZ_.")
+_NAME_CONT = _NAME_START | set("0123456789")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ADL source text; raises :class:`AdlSyntaxError` on junk."""
+    tokens: List[Token] = []
+    line, col = 1, 1
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#":
+            while i < length and text[i] != "\n":
+                i += 1
+            continue
+        start_line, start_col = line, col
+        if ch == '"':
+            j = i + 1
+            chunks = []
+            while j < length and text[j] != '"':
+                if text[j] == "\n":
+                    raise AdlSyntaxError("unterminated string",
+                                         start_line, start_col)
+                if text[j] == "\\" and j + 1 < length:
+                    chunks.append({"n": "\n", "t": "\t", '"': '"',
+                                   "\\": "\\"}.get(text[j + 1], text[j + 1]))
+                    j += 2
+                else:
+                    chunks.append(text[j])
+                    j += 1
+            if j >= length:
+                raise AdlSyntaxError("unterminated string",
+                                     start_line, start_col)
+            value = "".join(chunks)
+            tokens.append(Token("string", text[i:j + 1], value,
+                                start_line, start_col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        if ch == "'":
+            if i + 2 < length and text[i + 2] == "'":
+                tokens.append(Token("char", text[i:i + 3], ord(text[i + 1]),
+                                    start_line, start_col))
+                i += 3
+                col += 3
+                continue
+            if (i + 3 < length and text[i + 1] == "\\"
+                    and text[i + 3] == "'"):
+                escaped = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39}
+                if text[i + 2] not in escaped:
+                    raise AdlSyntaxError("bad escape in char literal",
+                                         start_line, start_col)
+                tokens.append(Token("char", text[i:i + 4],
+                                    escaped[text[i + 2]],
+                                    start_line, start_col))
+                i += 4
+                col += 4
+                continue
+            raise AdlSyntaxError("bad char literal", start_line, start_col)
+        if ch.isdigit():
+            j = i
+            if text.startswith("0x", i) or text.startswith("0X", i):
+                j = i + 2
+                while j < length and text[j] in "0123456789abcdefABCDEF_":
+                    j += 1
+                value = int(text[i:j].replace("_", ""), 16)
+            elif text.startswith("0b", i) or text.startswith("0B", i):
+                j = i + 2
+                while j < length and text[j] in "01_":
+                    j += 1
+                value = int(text[i + 2:j].replace("_", ""), 2)
+            else:
+                while j < length and (text[j].isdigit() or text[j] == "_"):
+                    j += 1
+                value = int(text[i:j].replace("_", ""))
+            tokens.append(Token("int", text[i:j], value,
+                                start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        if ch in _NAME_START:
+            j = i
+            while j < length and text[j] in _NAME_CONT:
+                j += 1
+            word = text[i:j]
+            tokens.append(Token("name", word, word, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                # Signed-suffix operators must not eat the start of a name
+                # (e.g. "a <sel" should be '<', 'sel').
+                if (op.endswith("s") and i + len(op) < length
+                        and text[i + len(op)] in _NAME_CONT):
+                    continue
+                tokens.append(Token("op", op, op, start_line, start_col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise AdlSyntaxError("unexpected character %r" % ch, line, col)
+    tokens.append(Token("eof", "", "", line, col))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def at_name(self, word: str) -> bool:
+        return self.at("name", word)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            raise AdlSyntaxError("expected %r, found %r" % (wanted, token.text
+                                                            or token.kind),
+                                 token.line, token.column)
+        return self.next()
+
+    def expect_keyword(self, word: str) -> Token:
+        return self.expect("name", word)
+
+    def __iter__(self) -> Iterator[Token]:
+        return iter(self._tokens[self._pos:])

@@ -1,0 +1,392 @@
+"""Recursive-descent parser for the architecture description language.
+
+Grammar sketch (see the built-in specs under ``repro/adl/specs/`` for
+worked examples)::
+
+    spec        := "architecture" NAME "{" item* "}"
+    item        := "wordsize" INT
+                 | "endian" ("little" | "big")
+                 | "regfile" NAME "[" INT "]" "width" INT
+                       ("prefix" STRING)? ("zero" INT)?
+                 | "register" NAME "width" INT
+                 | "pc" "width" INT
+                 | "alias" NAME "=" NAME "[" INT "]"
+                 | "encoding" NAME "{" (NAME ":" INT)+ "}"      # MSB first
+                 | "instruction" NAME "{" instr-item* "}"
+    instr-item  := "encoding" NAME
+                 | "match" NAME "=" INT ("," NAME "=" INT)*
+                 | "operand" NAME "=" part ("::" part)*
+                       ("signed")? ("pcrel")?
+                 | "syntax" STRING
+                 | "semantics" "{" stmt* "}"
+    part        := NAME | "0" "[" INT "]"
+
+The semantics statement/expression language is C-like; precedence from low
+to high: ``?:``, ``||``, ``&&``, ``|``, ``^``, ``&``, equality, relational
+(signed forms carry an ``s`` suffix: ``<s``), shifts (``>>`` logical,
+``>>s`` arithmetic), additive, multiplicative (``/s``/``%s`` signed), unary
+``~ ! -``.  Builtins: ``sext(e, w)``, ``zext(e, w)``, ``extract(e, hi, lo)``,
+``concat(a, b)``, ``load(addr, size)``, ``in()``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast as A
+from .errors import AdlSyntaxError
+from .lexer import TokenStream, tokenize
+
+__all__ = ["parse_spec"]
+
+_ITEM_KEYWORDS = {"wordsize", "endian", "regfile", "register", "pc", "alias",
+                  "encoding", "instruction"}
+
+_STMT_KEYWORDS = {"local", "if", "store", "out", "halt", "trap"}
+
+_BUILTINS = {"sext", "zext", "extract", "concat", "load", "in"}
+
+
+def parse_spec(text: str) -> A.ArchSpec:
+    """Parse ADL source text into an (unchecked) :class:`~.ast.ArchSpec`."""
+    stream = TokenStream(tokenize(text))
+    stream.expect_keyword("architecture")
+    name = stream.expect("name").text
+    spec = A.ArchSpec(name)
+    stream.expect("op", "{")
+    while not stream.at("op", "}"):
+        _parse_item(stream, spec)
+    stream.expect("op", "}")
+    stream.expect("eof")
+    return spec
+
+
+def _parse_item(stream: TokenStream, spec: A.ArchSpec) -> None:
+    token = stream.peek()
+    if token.kind != "name" or token.text not in _ITEM_KEYWORDS:
+        raise AdlSyntaxError("expected a declaration, found %r" % token.text,
+                             token.line, token.column)
+    keyword = stream.next().text
+    if keyword == "wordsize":
+        spec.wordsize = stream.expect("int").value
+    elif keyword == "endian":
+        endian = stream.expect("name").text
+        if endian not in ("little", "big"):
+            raise AdlSyntaxError("endian must be 'little' or 'big'",
+                                 token.line, token.column)
+        spec.endian = endian
+    elif keyword == "regfile":
+        name = stream.expect("name").text
+        stream.expect("op", "[")
+        count = stream.expect("int").value
+        stream.expect("op", "]")
+        stream.expect_keyword("width")
+        width = stream.expect("int").value
+        prefix = None
+        zero_index = None
+        while True:
+            if stream.at_name("prefix"):
+                stream.next()
+                prefix = stream.expect("string").value
+            elif stream.at_name("zero"):
+                stream.next()
+                zero_index = stream.expect("int").value
+            else:
+                break
+        spec.regfiles[name] = A.RegFileDecl(name, count, width, prefix,
+                                            zero_index, token.line)
+    elif keyword == "register":
+        name = stream.expect("name").text
+        stream.expect_keyword("width")
+        width = stream.expect("int").value
+        spec.registers[name] = A.RegDecl(name, width, token.line)
+    elif keyword == "pc":
+        stream.expect_keyword("width")
+        width = stream.expect("int").value
+        spec.pc = A.PcDecl("pc", width, token.line)
+    elif keyword == "alias":
+        alias = stream.expect("name").text
+        stream.expect("op", "=")
+        regfile = stream.expect("name").text
+        stream.expect("op", "[")
+        index = stream.expect("int").value
+        stream.expect("op", "]")
+        spec.aliases.append(A.AliasDecl(alias, regfile, index, token.line))
+    elif keyword == "encoding":
+        name = stream.expect("name").text
+        stream.expect("op", "{")
+        fields: List[A.EncodingField] = []
+        while not stream.at("op", "}"):
+            field_name = stream.expect("name").text
+            stream.expect("op", ":")
+            width = stream.expect("int").value
+            fields.append(A.EncodingField(field_name, width))
+        stream.expect("op", "}")
+        spec.encodings[name] = A.EncodingDecl(name, fields, token.line)
+    else:  # instruction
+        spec.instructions.append(_parse_instruction(stream, token.line))
+
+
+def _parse_instruction(stream: TokenStream, line: int) -> A.InstrDecl:
+    name = stream.expect("name").text
+    stream.expect("op", "{")
+    encoding = None
+    match = {}
+    syntax = None
+    operands: List[A.OperandDecl] = []
+    semantics: List[A.SStmt] = []
+    saw_semantics = False
+    while not stream.at("op", "}"):
+        token = stream.peek()
+        if stream.at_name("encoding"):
+            stream.next()
+            encoding = stream.expect("name").text
+        elif stream.at_name("match"):
+            stream.next()
+            while True:
+                field = stream.expect("name").text
+                stream.expect("op", "=")
+                match[field] = stream.expect("int").value
+                if not stream.accept("op", ","):
+                    break
+        elif stream.at_name("operand"):
+            stream.next()
+            operands.append(_parse_operand(stream, token.line))
+        elif stream.at_name("syntax"):
+            stream.next()
+            syntax = stream.expect("string").value
+        elif stream.at_name("semantics"):
+            stream.next()
+            stream.expect("op", "{")
+            semantics = _parse_stmts(stream)
+            stream.expect("op", "}")
+            saw_semantics = True
+        else:
+            raise AdlSyntaxError(
+                "expected an instruction clause, found %r" % token.text,
+                token.line, token.column)
+    stream.expect("op", "}")
+    if encoding is None:
+        raise AdlSyntaxError("instruction %r has no encoding clause" % name,
+                             line, 0)
+    if syntax is None:
+        raise AdlSyntaxError("instruction %r has no syntax clause" % name,
+                             line, 0)
+    if not saw_semantics:
+        raise AdlSyntaxError("instruction %r has no semantics clause" % name,
+                             line, 0)
+    return A.InstrDecl(name, encoding, match, syntax, operands, semantics,
+                       line)
+
+
+def _parse_operand(stream: TokenStream, line: int) -> A.OperandDecl:
+    name = stream.expect("name").text
+    stream.expect("op", "=")
+    parts: List[A.OperandPart] = []
+    while True:
+        if stream.at("int"):
+            zero_token = stream.next()
+            if zero_token.value != 0:
+                raise AdlSyntaxError("operand padding must be 0[n]",
+                                     zero_token.line, zero_token.column)
+            stream.expect("op", "[")
+            bits = stream.expect("int").value
+            stream.expect("op", "]")
+            parts.append(A.OperandPart(None, bits))
+        else:
+            field = stream.expect("name").text
+            parts.append(A.OperandPart(field))
+        if not stream.accept("op", "::"):
+            break
+    signed = False
+    pcrel = False
+    pcrel_base = 0
+    while True:
+        if stream.at_name("signed"):
+            stream.next()
+            signed = True
+        elif stream.at_name("pcrel"):
+            stream.next()
+            pcrel = True
+            if stream.at("int"):
+                pcrel_base = stream.next().value
+        else:
+            break
+    return A.OperandDecl(name, parts, signed, pcrel, pcrel_base, line)
+
+
+# ---------------------------------------------------------------------------
+# Semantics statements
+# ---------------------------------------------------------------------------
+
+def _parse_stmts(stream: TokenStream) -> List[A.SStmt]:
+    stmts: List[A.SStmt] = []
+    while not stream.at("op", "}"):
+        stmts.append(_parse_stmt(stream))
+    return stmts
+
+
+def _parse_stmt(stream: TokenStream) -> A.SStmt:
+    token = stream.peek()
+    if stream.at_name("local"):
+        stream.next()
+        name = stream.expect("name").text
+        stream.expect("op", ":")
+        width = stream.expect("int").value
+        stream.expect("op", "=")
+        value = _parse_expr(stream)
+        stream.expect("op", ";")
+        return A.ALocal(name, width, value, token.line)
+    if stream.at_name("if"):
+        stream.next()
+        stream.expect("op", "(")
+        cond = _parse_expr(stream)
+        stream.expect("op", ")")
+        stream.expect("op", "{")
+        then_body = _parse_stmts(stream)
+        stream.expect("op", "}")
+        else_body: List[A.SStmt] = []
+        if stream.at_name("else"):
+            stream.next()
+            if stream.at_name("if"):
+                else_body = [_parse_stmt(stream)]
+            else:
+                stream.expect("op", "{")
+                else_body = _parse_stmts(stream)
+                stream.expect("op", "}")
+        return A.AIf(cond, then_body, else_body, token.line)
+    if stream.at_name("store"):
+        stream.next()
+        stream.expect("op", "(")
+        addr = _parse_expr(stream)
+        stream.expect("op", ",")
+        value = _parse_expr(stream)
+        stream.expect("op", ",")
+        size = stream.expect("int").value
+        stream.expect("op", ")")
+        stream.expect("op", ";")
+        return A.AStore(addr, value, size, token.line)
+    if stream.at_name("out"):
+        stream.next()
+        stream.expect("op", "(")
+        value = _parse_expr(stream)
+        stream.expect("op", ")")
+        stream.expect("op", ";")
+        return A.AOut(value, token.line)
+    if stream.at_name("halt") or stream.at_name("trap"):
+        keyword = stream.next().text
+        stream.expect("op", "(")
+        code = _parse_expr(stream)
+        stream.expect("op", ")")
+        stream.expect("op", ";")
+        cls = A.AHalt if keyword == "halt" else A.ATrap
+        return cls(code, token.line)
+    # Assignment: name or name[expr] "=" expr ";"
+    target_name = stream.expect("name")
+    if stream.accept("op", "["):
+        index = _parse_expr(stream)
+        stream.expect("op", "]")
+        target: A.SExpr = A.SIndex(target_name.text, index, target_name.line)
+    else:
+        target = A.SName(target_name.text, target_name.line)
+    stream.expect("op", "=")
+    value = _parse_expr(stream)
+    stream.expect("op", ";")
+    return A.AAssign(target, value, token.line)
+
+
+# ---------------------------------------------------------------------------
+# Semantics expressions (precedence climbing)
+# ---------------------------------------------------------------------------
+
+_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">=", "<s", "<=s", ">s", ">=s"],
+    ["<<", ">>", ">>s"],
+    ["+", "-"],
+    ["*", "/", "%", "/s", "%s"],
+]
+
+_OP_NAMES = {
+    "||": "or", "&&": "and", "|": "or", "^": "xor", "&": "and",
+    "==": "eq", "!=": "ne",
+    "<": "ult", "<=": "ule", ">": "ugt", ">=": "uge",
+    "<s": "slt", "<=s": "sle", ">s": "sgt", ">=s": "sge",
+    "<<": "shl", ">>": "lshr", ">>s": "ashr",
+    "+": "add", "-": "sub",
+    "*": "mul", "/": "udiv", "%": "urem", "/s": "sdiv", "%s": "srem",
+}
+
+
+def _parse_expr(stream: TokenStream) -> A.SExpr:
+    return _parse_ternary(stream)
+
+
+def _parse_ternary(stream: TokenStream) -> A.SExpr:
+    cond = _parse_binary(stream, 0)
+    if stream.accept("op", "?"):
+        then = _parse_expr(stream)
+        stream.expect("op", ":")
+        other = _parse_expr(stream)
+        return A.STernary(cond, then, other, cond.line)
+    return cond
+
+
+def _parse_binary(stream: TokenStream, level: int) -> A.SExpr:
+    if level >= len(_LEVELS):
+        return _parse_unary(stream)
+    left = _parse_binary(stream, level + 1)
+    while stream.peek().kind == "op" and stream.peek().text in _LEVELS[level]:
+        op_token = stream.next()
+        right = _parse_binary(stream, level + 1)
+        left = A.SBin(_OP_NAMES[op_token.text], left, right, op_token.line)
+    return left
+
+
+def _parse_unary(stream: TokenStream) -> A.SExpr:
+    token = stream.peek()
+    if stream.accept("op", "~"):
+        return A.SUn("not", _parse_unary(stream), token.line)
+    if stream.accept("op", "!"):
+        return A.SUn("boolnot", _parse_unary(stream), token.line)
+    if stream.accept("op", "-"):
+        operand = _parse_unary(stream)
+        if isinstance(operand, A.SLit):
+            return A.SLit(-operand.value, token.line)
+        return A.SUn("neg", operand, token.line)
+    return _parse_primary(stream)
+
+
+def _parse_primary(stream: TokenStream) -> A.SExpr:
+    token = stream.peek()
+    if stream.accept("op", "("):
+        inner = _parse_expr(stream)
+        stream.expect("op", ")")
+        return inner
+    if token.kind in ("int", "char"):
+        stream.next()
+        return A.SLit(token.value, token.line)
+    if token.kind == "name":
+        name = stream.next().text
+        if name in _BUILTINS:
+            stream.expect("op", "(")
+            args: List[A.SExpr] = []
+            if not stream.at("op", ")"):
+                args.append(_parse_expr(stream))
+                while stream.accept("op", ","):
+                    args.append(_parse_expr(stream))
+            stream.expect("op", ")")
+            return A.SCall(name, args, token.line)
+        if stream.accept("op", "["):
+            index = _parse_expr(stream)
+            stream.expect("op", "]")
+            return A.SIndex(name, index, token.line)
+        return A.SName(name, token.line)
+    raise AdlSyntaxError("expected an expression, found %r"
+                         % (token.text or token.kind),
+                         token.line, token.column)

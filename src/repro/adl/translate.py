@@ -1,0 +1,339 @@
+"""Translation of ADL instruction semantics to the register-transfer IR.
+
+This is the pass that makes the engine retargetable: every instruction's
+semantics block is lowered *once* (at model-build time) into IR statements,
+and both the concrete simulator and the symbolic executor interpret that IR.
+
+Width discipline
+----------------
+The semantics language has no implicit widening: mixing widths is an error
+unless the spec says ``sext``/``zext`` explicitly.  Bare integer literals
+adapt to the width their context demands; a literal with no context at all
+defaults to the architecture word size.
+
+Input discipline
+----------------
+``in()`` (read one input byte) is the only side-effecting expression, so it
+is restricted to being the *entire* right-hand side of an assignment or
+``local``.  This keeps evaluation order identical between the concrete
+interpreter (which evaluates only the taken ite branch) and the symbolic
+executor (which evaluates both).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .. import ir
+from ..ir import nodes as N
+from . import ast as A
+from .errors import AdlSemanticError
+
+__all__ = ["translate_instruction", "TranslationContext"]
+
+_COMPARISONS = frozenset({"eq", "ne", "ult", "ule", "ugt", "uge",
+                          "slt", "sle", "sgt", "sge"})
+
+
+class TranslationContext:
+    """Name/width environment for one instruction's semantics block."""
+
+    def __init__(self, spec: A.ArchSpec, instr: A.InstrDecl):
+        self.spec = spec
+        self.instr = instr
+        self.wordsize = spec.wordsize
+        enc = spec.encodings[instr.encoding]
+        self.fields: Dict[str, int] = {f.name: f.width for f in enc.fields}
+        self.operands: Dict[str, int] = {op.name: op.width
+                                         for op in instr.operands}
+        self.locals: Dict[str, int] = {}
+
+    def lookup_kind(self, name: str) -> Optional[str]:
+        """Classify a bare name; precedence: local, operand, field,
+        register, regfile, pc."""
+        if name == "pc":
+            return "pc"
+        if name in self.locals:
+            return "local"
+        if name in self.operands:
+            return "operand"
+        if name in self.fields:
+            return "field"
+        if name in self.spec.registers:
+            return "register"
+        if name in self.spec.regfiles:
+            return "regfile"
+        return None
+
+
+def translate_instruction(spec: A.ArchSpec,
+                          instr: A.InstrDecl) -> List[N.Stmt]:
+    """Lower one instruction's semantics to a validated IR block."""
+    ctx = TranslationContext(spec, instr)
+    block = _translate_stmts(ctx, instr.semantics)
+    ir.validate_block(block)
+    return block
+
+
+def _translate_stmts(ctx: TranslationContext,
+                     stmts: Sequence[A.SStmt]) -> List[N.Stmt]:
+    out: List[N.Stmt] = []
+    for stmt in stmts:
+        out.append(_translate_stmt(ctx, stmt))
+    return out
+
+
+def _translate_stmt(ctx: TranslationContext, stmt: A.SStmt) -> N.Stmt:
+    if isinstance(stmt, A.ALocal):
+        if ctx.lookup_kind(stmt.name) is not None:
+            raise AdlSemanticError("local %r shadows an existing name"
+                                   % stmt.name, stmt.line)
+        value = _rhs(ctx, stmt.value, stmt.width)
+        ctx.locals[stmt.name] = stmt.width
+        return N.SetLocal(stmt.name, value)
+    if isinstance(stmt, A.AAssign):
+        return _translate_assign(ctx, stmt)
+    if isinstance(stmt, A.AIf):
+        cond = _expr(ctx, stmt.cond, 1)
+        # Locals declared inside a branch stay visible afterwards (the IR
+        # interpreters share one local scope per instruction), matching the
+        # simple flat-scope semantics the specs rely on.
+        then_body = _translate_stmts(ctx, stmt.then_body)
+        else_body = _translate_stmts(ctx, stmt.else_body)
+        return N.IfStmt(cond, then_body, else_body)
+    if isinstance(stmt, A.AStore):
+        if stmt.size not in (1, 2, 4, 8):
+            raise AdlSemanticError("store size must be 1/2/4/8 bytes",
+                                   stmt.line)
+        addr = _expr(ctx, stmt.addr, ctx.wordsize)
+        value = _expr(ctx, stmt.value, 8 * stmt.size)
+        return N.Store(addr, value, stmt.size)
+    if isinstance(stmt, A.AOut):
+        return N.Output(_expr(ctx, stmt.value, 8))
+    if isinstance(stmt, A.AHalt):
+        return N.Halt(_expr(ctx, stmt.code, 8))
+    if isinstance(stmt, A.ATrap):
+        return N.Trap(_expr(ctx, stmt.code, 8))
+    raise AdlSemanticError("unknown statement %r" % (stmt,),
+                           getattr(stmt, "line", 0))
+
+
+def _translate_assign(ctx: TranslationContext, stmt: A.AAssign) -> N.Stmt:
+    target = stmt.target
+    if isinstance(target, A.SName):
+        kind = ctx.lookup_kind(target.name)
+        if kind == "pc":
+            return N.SetPc(_rhs(ctx, stmt.value, ctx.spec.pc.width))
+        if kind == "register":
+            width = ctx.spec.registers[target.name].width
+            return N.SetReg(target.name, None, _rhs(ctx, stmt.value, width))
+        if kind == "local":
+            width = ctx.locals[target.name]
+            return N.SetLocal(target.name, _rhs(ctx, stmt.value, width))
+        if kind in ("field", "operand"):
+            raise AdlSemanticError("cannot assign to encoding field %r"
+                                   % target.name, stmt.line)
+        if kind == "regfile":
+            raise AdlSemanticError("regfile %r must be indexed" % target.name,
+                                   stmt.line)
+        raise AdlSemanticError("unknown assignment target %r" % target.name,
+                               stmt.line)
+    if isinstance(target, A.SIndex):
+        regfile = ctx.spec.regfiles.get(target.name)
+        if regfile is None:
+            raise AdlSemanticError("unknown regfile %r" % target.name,
+                                   stmt.line)
+        index = _expr(ctx, target.index, None)
+        value = _rhs(ctx, stmt.value, regfile.width)
+        return N.SetReg(target.name, index, value)
+    raise AdlSemanticError("bad assignment target", stmt.line)
+
+
+def _rhs(ctx: TranslationContext, expr: A.SExpr, width: int) -> N.Expr:
+    """Translate a right-hand side; the only place ``in()`` is allowed."""
+    if isinstance(expr, A.SCall) and expr.name == "in":
+        if expr.args:
+            raise AdlSemanticError("in() takes no arguments", expr.line)
+        if width != 8:
+            raise AdlSemanticError(
+                "in() yields 8 bits; extend explicitly (got %d-bit target)"
+                % width, expr.line)
+        return N.InputByte()
+    _reject_input(expr)
+    return _expr(ctx, expr, width)
+
+
+def _reject_input(expr: A.SExpr) -> None:
+    if isinstance(expr, A.SCall) and expr.name == "in":
+        raise AdlSemanticError(
+            "in() may only be the entire right-hand side of an assignment",
+            expr.line)
+    for child in _children(expr):
+        _reject_input(child)
+
+
+def _children(expr: A.SExpr):
+    if isinstance(expr, A.SBin):
+        return (expr.left, expr.right)
+    if isinstance(expr, A.SUn):
+        return (expr.operand,)
+    if isinstance(expr, A.SCall):
+        return tuple(expr.args)
+    if isinstance(expr, A.STernary):
+        return (expr.cond, expr.then, expr.other)
+    if isinstance(expr, A.SIndex):
+        return (expr.index,)
+    return ()
+
+
+def _expr(ctx: TranslationContext, expr: A.SExpr,
+          expected: Optional[int]) -> N.Expr:
+    """Translate an expression, checking it against ``expected`` width."""
+    node = _build(ctx, expr, expected)
+    if expected is not None and node.width != expected:
+        raise AdlSemanticError(
+            "expression has width %d where %d is required "
+            "(use sext/zext/extract)" % (node.width, expected), expr.line)
+    return node
+
+
+def _build(ctx: TranslationContext, expr: A.SExpr,
+           expected: Optional[int]) -> N.Expr:
+    if isinstance(expr, A.SLit):
+        width = expected if expected is not None else ctx.wordsize
+        _check_literal_fits(expr.value, width, expr.line)
+        return N.Const(expr.value, width)
+    if isinstance(expr, A.SName):
+        return _build_name(ctx, expr)
+    if isinstance(expr, A.SIndex):
+        regfile = ctx.spec.regfiles.get(expr.name)
+        if regfile is None:
+            raise AdlSemanticError("unknown regfile %r" % expr.name,
+                                   expr.line)
+        index = _expr(ctx, expr.index, None)
+        return N.ReadReg(expr.name, index, regfile.width)
+    if isinstance(expr, A.SBin):
+        return _build_binop(ctx, expr, expected)
+    if isinstance(expr, A.SUn):
+        if expr.op == "boolnot":
+            return N.UnOp("boolnot", _expr(ctx, expr.operand, 1), 1)
+        operand = _expr(ctx, expr.operand, expected)
+        return N.UnOp(expr.op, operand, operand.width)
+    if isinstance(expr, A.STernary):
+        cond = _expr(ctx, expr.cond, 1)
+        then, other = _infer_pair(ctx, expr.then, expr.other, expected,
+                                  expr.line)
+        return N.IteExpr(cond, then, other)
+    if isinstance(expr, A.SCall):
+        return _build_call(ctx, expr)
+    raise AdlSemanticError("unknown expression %r" % (expr,),
+                           getattr(expr, "line", 0))
+
+
+def _build_name(ctx: TranslationContext, expr: A.SName) -> N.Expr:
+    kind = ctx.lookup_kind(expr.name)
+    if kind == "pc":
+        return N.Pc(ctx.spec.pc.width)
+    if kind == "local":
+        return N.Local(expr.name, ctx.locals[expr.name])
+    if kind == "operand":
+        return N.Field(expr.name, ctx.operands[expr.name])
+    if kind == "field":
+        return N.Field(expr.name, ctx.fields[expr.name])
+    if kind == "register":
+        return N.ReadReg(expr.name, None, ctx.spec.registers[expr.name].width)
+    if kind == "regfile":
+        raise AdlSemanticError("regfile %r must be indexed" % expr.name,
+                               expr.line)
+    raise AdlSemanticError("unknown name %r" % expr.name, expr.line)
+
+
+def _infer_pair(ctx: TranslationContext, left: A.SExpr, right: A.SExpr,
+                expected: Optional[int], line: int):
+    """Translate two same-width operands; literals adapt to the other side."""
+    left_literal = isinstance(left, A.SLit)
+    right_literal = isinstance(right, A.SLit)
+    if left_literal and not right_literal:
+        right_node = _expr(ctx, right, expected)
+        left_node = _expr(ctx, left, right_node.width)
+    else:
+        left_node = _expr(ctx, left, expected)
+        right_node = _expr(ctx, right, left_node.width)
+    if left_node.width != right_node.width:
+        raise AdlSemanticError(
+            "operands have widths %d and %d (use sext/zext)"
+            % (left_node.width, right_node.width), line)
+    return left_node, right_node
+
+
+def _build_binop(ctx: TranslationContext, expr: A.SBin,
+                 expected: Optional[int]) -> N.Expr:
+    if expr.op in _COMPARISONS:
+        left, right = _infer_pair(ctx, expr.left, expr.right, None, expr.line)
+        return N.BinOp(expr.op, left, right, 1)
+    left, right = _infer_pair(ctx, expr.left, expr.right, expected, expr.line)
+    return N.BinOp(expr.op, left, right, left.width)
+
+
+def _build_call(ctx: TranslationContext, expr: A.SCall) -> N.Expr:
+    name = expr.name
+    if name == "in":
+        raise AdlSemanticError(
+            "in() may only be the entire right-hand side of an assignment",
+            expr.line)
+    if name in ("sext", "zext"):
+        if len(expr.args) != 2 or not isinstance(expr.args[1], A.SLit):
+            raise AdlSemanticError("%s(expr, width) expects a literal width"
+                                   % name, expr.line)
+        operand = _expr(ctx, expr.args[0], None)
+        width = expr.args[1].value
+        if width < operand.width:
+            raise AdlSemanticError(
+                "%s narrows %d to %d bits (use extract)"
+                % (name, operand.width, width), expr.line)
+        if width == operand.width:
+            return operand
+        return N.Ext(name, operand, width)
+    if name == "extract":
+        if (len(expr.args) != 3
+                or not isinstance(expr.args[1], A.SLit)
+                or not isinstance(expr.args[2], A.SLit)):
+            raise AdlSemanticError(
+                "extract(expr, hi, lo) expects literal bit positions",
+                expr.line)
+        operand = _expr(ctx, expr.args[0], None)
+        hi, lo = expr.args[1].value, expr.args[2].value
+        if not (0 <= lo <= hi < operand.width):
+            raise AdlSemanticError(
+                "extract [%d:%d] out of range for width %d"
+                % (hi, lo, operand.width), expr.line)
+        return N.ExtractBits(operand, hi, lo)
+    if name == "concat":
+        if len(expr.args) != 2:
+            raise AdlSemanticError("concat(hi, lo) takes two arguments",
+                                   expr.line)
+        hi_part = _expr(ctx, expr.args[0], None)
+        lo_part = _expr(ctx, expr.args[1], None)
+        return N.ConcatBits(hi_part, lo_part)
+    if name == "load":
+        if len(expr.args) != 2 or not isinstance(expr.args[1], A.SLit):
+            raise AdlSemanticError("load(addr, size) expects a literal size",
+                                   expr.line)
+        size = expr.args[1].value
+        if size not in (1, 2, 4, 8):
+            raise AdlSemanticError("load size must be 1/2/4/8 bytes",
+                                   expr.line)
+        addr = _expr(ctx, expr.args[0], ctx.wordsize)
+        return N.Load(addr, size)
+    raise AdlSemanticError("unknown builtin %r" % name, expr.line)
+
+
+def _check_literal_fits(value: int, width: int, line: int) -> None:
+    if value >= 0:
+        if value >= (1 << width):
+            raise AdlSemanticError(
+                "literal %#x does not fit in %d bits" % (value, width), line)
+    else:
+        if value < -(1 << (width - 1)):
+            raise AdlSemanticError(
+                "literal %d does not fit in %d bits" % (value, width), line)

@@ -1,0 +1,3 @@
+"""Hand-written baseline engines (the comparison targets)."""
+
+from .rv32_native import NativeState, Rv32NativeEngine  # noqa: F401

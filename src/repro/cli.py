@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands::
+
+    isas                        list built-in ISA models
+    asm   <isa> <file.s>        assemble; print a hex dump and symbols
+    dis   <isa> <file.s>        assemble, then disassemble (round-trip view)
+    run   <isa> <file.s>        run concretely on the simulator
+    trace <isa> <file.s>        run concretely with a full execution trace
+    explore <isa> <file.s>      symbolic execution; report paths + defects
+    cfg   <isa> <file.s>        recover and print the control-flow graph
+
+Common options: ``--input TEXT`` (program input; ``\\xNN`` escapes),
+``--base ADDR``, ``--max-steps N``.  ``explore`` adds ``--strategy``,
+``--merge``, ``--taint``, ``--uninit``, ``--region START:SIZE``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .core import Engine, EngineConfig, measure, trace_run
+from .isa import assemble, build, format_instruction, run_image
+from .isa.cfg import recover_cfg
+
+__all__ = ["main"]
+
+
+def _parse_input(text: str) -> bytes:
+    return text.encode("utf-8").decode("unicode_escape").encode("latin-1")
+
+
+def _load(args):
+    model = build(args.isa)
+    with open(args.source) as handle:
+        image = assemble(model, handle.read(), base=args.base)
+    return model, image
+
+
+def _add_common(parser):
+    parser.add_argument("isa", help="built-in ISA name (see 'isas')")
+    parser.add_argument("source", help="assembly source file")
+    parser.add_argument("--base", type=lambda s: int(s, 0), default=0x1000,
+                        help="load address (default 0x1000)")
+    parser.add_argument("--input", default="",
+                        help=r"program input bytes (supports \xNN escapes)")
+    parser.add_argument("--max-steps", type=int, default=100000)
+
+
+def cmd_isas(_args) -> int:
+    from .adl import builtin_spec_names
+    for name in builtin_spec_names():
+        model = build(name)
+        print("%-8s %2d-bit %-7s %3d instructions, lengths %s"
+              % (name, model.wordsize, model.endian,
+                 len(model.instructions),
+                 "/".join(str(n) for n in model.instruction_lengths)))
+    return 0
+
+
+def cmd_asm(args) -> int:
+    model, image = _load(args)
+    print("; %s, %d bytes at %#x, entry %#x"
+          % (model.name, len(image.data), image.base, image.entry))
+    data = bytes(image.data)
+    for offset in range(0, len(data), 16):
+        chunk = data[offset:offset + 16]
+        print("%08x  %s" % (image.base + offset,
+                            " ".join("%02x" % b for b in chunk)))
+    if image.symbols:
+        print("; symbols:")
+        for name, value in sorted(image.symbols.items(),
+                                  key=lambda item: item[1]):
+            print(";   %-20s %#x" % (name, value))
+    return 0
+
+
+def cmd_dis(args) -> int:
+    model, image = _load(args)
+    address = image.base
+    end = image.base + len(image.data)
+    data = bytes(image.data)
+    while address < end:
+        window = data[address - image.base:
+                      address - image.base + model.decoder.max_length]
+        try:
+            decoded = model.decoder.decode_bytes(window, address)
+        except Exception:
+            print("%08x  %02x                (data)"
+                  % (address, data[address - image.base]))
+            address += 1
+            continue
+        raw = " ".join("%02x" % b for b in window[:decoded.length])
+        print("%08x  %-12s  %s" % (address, raw,
+                                   format_instruction(model, decoded)))
+        address += decoded.length
+    return 0
+
+
+def cmd_run(args) -> int:
+    model, image = _load(args)
+    sim = run_image(model, image, input_bytes=_parse_input(args.input),
+                    max_steps=args.max_steps)
+    if sim.output:
+        sys.stdout.write("output: %r\n" % bytes(sim.output))
+    if sim.trapped:
+        print("TRAP %d after %d instructions" % (sim.trap_code,
+                                                 sim.instruction_count))
+        return 2
+    if sim.halted:
+        print("halted with code %d after %d instructions"
+              % (sim.exit_code, sim.instruction_count))
+        return sim.exit_code if sim.exit_code else 0
+    print("step budget exhausted at pc=%#x" % sim.state.pc)
+    return 1
+
+
+def cmd_trace(args) -> int:
+    model, image = _load(args)
+    tracer = trace_run(model, image, input_bytes=_parse_input(args.input),
+                       max_steps=args.max_steps)
+    print(tracer.format())
+    sim = tracer.simulator
+    status = ("TRAP %d" % sim.trap_code if sim.trapped
+              else "halt %s" % sim.exit_code if sim.halted
+              else "budget exhausted")
+    print("; %s after %d instructions" % (status, len(tracer.entries)))
+    return 0
+
+
+def cmd_explore(args) -> int:
+    model, image = _load(args)
+    config = EngineConfig(
+        max_steps_per_path=args.max_steps,
+        check_uninit=args.uninit,
+        check_tainted_control=args.taint,
+        merge_states=args.merge,
+        collect_coverage=True,
+    )
+    engine = Engine(model, config=config, strategy=args.strategy,
+                    seed=args.seed)
+    engine.load_image(image)
+    for region in args.region or ():
+        start_text, _, size_text = region.partition(":")
+        engine.add_region(int(start_text, 0), int(size_text, 0),
+                          track_uninit=args.uninit)
+    result = engine.explore()
+    print(result.summary())
+    for defect in result.defects:
+        print("defect: %-24s pc=%#x instr=%-8s input=%r"
+              % (defect.kind, defect.pc, defect.instruction,
+                 defect.input_bytes))
+    report = measure(model, image, result.visited_pcs)
+    print(report.summary())
+    return 2 if result.defects else 0
+
+
+def cmd_cfg(args) -> int:
+    model, image = _load(args)
+    cfg = recover_cfg(model, image)
+    print("entry %#x, %d blocks, %d edges%s"
+          % (cfg.entry, cfg.block_count, cfg.edge_count,
+             ", has indirect jumps" if cfg.has_indirect else ""))
+    for start, block in sorted(cfg.blocks.items()):
+        targets = ", ".join(("%#x [%s]" % (t, k)) if t is not None else k
+                            for t, k in block.successors)
+        print("  %#x (%d instrs) -> %s"
+              % (start, len(block.addresses), targets))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ADL-based retargetable symbolic execution toolchain")
+    parser.add_argument("--version", action="version",
+                        version="repro " + __version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("isas", help="list built-in ISAs")
+
+    for name, help_text in (("asm", "assemble and hex-dump"),
+                            ("dis", "assemble then disassemble"),
+                            ("run", "run on the concrete simulator"),
+                            ("trace", "run with a full execution trace"),
+                            ("cfg", "recover the control-flow graph")):
+        sub = commands.add_parser(name, help=help_text)
+        _add_common(sub)
+
+    explore = commands.add_parser(
+        "explore", help="symbolic execution (paths + defects + coverage)")
+    _add_common(explore)
+    explore.add_argument("--strategy", default="dfs",
+                         choices=["dfs", "bfs", "random", "coverage"])
+    explore.add_argument("--seed", type=int, default=0)
+    explore.add_argument("--merge", action="store_true",
+                         help="enable state merging (use with bfs)")
+    explore.add_argument("--taint", action="store_true",
+                         help="report input-dependent jump targets")
+    explore.add_argument("--uninit", action="store_true",
+                         help="track uninitialized reads in --region areas")
+    explore.add_argument("--region", action="append",
+                         metavar="START:SIZE",
+                         help="map extra memory (repeatable)")
+
+    args = parser.parse_args(argv)
+    handler = {
+        "isas": cmd_isas, "asm": cmd_asm, "dis": cmd_dis, "run": cmd_run,
+        "trace": cmd_trace, "explore": cmd_explore, "cfg": cmd_cfg,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""The retargetable symbolic execution core (the paper's contribution)."""
+
+from . import reporting  # noqa: F401
+from .concolic import ConcolicExplorer, ConcolicRun  # noqa: F401
+from .coverage import CoverageReport, measure  # noqa: F401
+from .executor import Engine, EngineConfig, EngineError  # noqa: F401
+from .merge import MergingFrontier, try_merge  # noqa: F401
+from .trace import TraceEntry, Tracer, trace_run  # noqa: F401
+from .memory import MemoryMap, Region, SymMemory  # noqa: F401
+from .reporting import (  # noqa: F401
+    DIV_BY_ZERO,
+    INVALID_INSTRUCTION,
+    OOB_ACCESS,
+    TAINTED_CONTROL,
+    TRAP,
+    UNINIT_READ,
+    WRITE_TO_CODE,
+    Defect,
+    ExplorationResult,
+    PathResult,
+)
+from .state import SymState  # noqa: F401
+from .strategy import (  # noqa: F401
+    STRATEGIES,
+    BfsStrategy,
+    CoverageStrategy,
+    DfsStrategy,
+    RandomStrategy,
+    Strategy,
+    make_strategy,
+)

@@ -1,0 +1,71 @@
+"""Coverage accounting: exploration progress against the recovered CFG.
+
+Measures which instructions / basic blocks of a program symbolic (or
+concolic) exploration actually reached — the feedback signal behind the
+coverage-guided strategy and the extension experiment (Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..isa.cfg import Cfg, recover_cfg
+
+__all__ = ["CoverageReport", "measure"]
+
+
+class CoverageReport:
+    """Instruction- and block-level coverage of one exploration."""
+
+    def __init__(self, cfg: Cfg, visited: Set[int]):
+        self.cfg = cfg
+        self.visited = set(visited)
+        self.known = set(cfg.instruction_addresses)
+        self.covered_instructions = self.visited & self.known
+        self.covered_blocks = {
+            start for start, block in cfg.blocks.items()
+            if any(addr in self.visited for addr in block.addresses)}
+        # Addresses executed but not statically discovered (e.g. behind an
+        # indirect jump the CFG could not follow).
+        self.dynamic_only = self.visited - self.known
+
+    @property
+    def instruction_ratio(self) -> float:
+        if not self.known:
+            return 0.0
+        return len(self.covered_instructions) / len(self.known)
+
+    @property
+    def block_ratio(self) -> float:
+        if not self.cfg.blocks:
+            return 0.0
+        return len(self.covered_blocks) / len(self.cfg.blocks)
+
+    def uncovered_blocks(self) -> List[int]:
+        return sorted(set(self.cfg.blocks) - self.covered_blocks)
+
+    def summary(self) -> str:
+        return ("coverage: %d/%d instructions (%.0f%%), %d/%d blocks "
+                "(%.0f%%)%s"
+                % (len(self.covered_instructions), len(self.known),
+                   100 * self.instruction_ratio,
+                   len(self.covered_blocks), len(self.cfg.blocks),
+                   100 * self.block_ratio,
+                   ", %d dynamic-only" % len(self.dynamic_only)
+                   if self.dynamic_only else ""))
+
+    def __repr__(self):
+        return "<CoverageReport %s>" % self.summary()
+
+
+def measure(model, image, visited: Iterable[int],
+            cfg: Optional[Cfg] = None) -> CoverageReport:
+    """Build a coverage report for a set of visited pc values.
+
+    ``visited`` typically comes from
+    :attr:`~repro.core.reporting.ExplorationResult.visited_pcs` (enable
+    ``EngineConfig(collect_coverage=True)``).
+    """
+    if cfg is None:
+        cfg = recover_cfg(model, image)
+    return CoverageReport(cfg, set(visited))

@@ -1,0 +1,745 @@
+"""The retargetable symbolic execution engine.
+
+This is the paper's contribution: a single engine that symbolically
+executes *any* ADL-described ISA by interpreting the generated IR over
+solver terms.  Nothing in this module is ISA-specific — the ISA enters only
+through the :class:`~repro.isa.model.ArchModel` passed to :class:`Engine`.
+
+Execution model
+---------------
+* The program counter is concrete; conditional branches (IR ``IfStmt`` with
+  a symbolic condition) fork the state, indirect jumps (symbolic ``SetPc``)
+  are concretized by solver enumeration (up to ``max_fork_targets``).
+* Expression-level ``ite`` does not fork; both arms are evaluated and the
+  engine tracks the arm guards so checker queries (e.g. division-by-zero)
+  are asked *under* the guard — a guarded ``(d == 0) ? safe : x/d`` is not
+  a defect.
+* Memory addresses are concretized with a bounded-window policy: small
+  ranges become ite-chains over every in-range byte, larger ones are
+  solver-enumerated and the path constrained to the found values (the
+  standard angr-style compromise; enumeration shortfalls are counted in
+  the stats, never silent).
+
+Checkers (enabled via :class:`EngineConfig`): division by zero, unmapped
+(out-of-bounds) access, write to read-only regions, uninitialized reads in
+tracked regions, reachable traps, undecodable instructions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir import nodes as N
+from ..isa.decoder import DecodeError
+from ..smt import SAT, Solver
+from ..smt import terms as T
+from . import reporting as R
+from .memory import MemoryMap, Region, SymMemory
+from .state import SymState
+from .strategy import CoverageStrategy, Strategy, make_strategy
+
+__all__ = ["Engine", "EngineConfig", "EngineError"]
+
+
+class EngineError(Exception):
+    """Engine misuse or an internal invariant violation."""
+
+
+class EngineConfig:
+    """Tunables for exploration, concretization and checking."""
+
+    def __init__(self,
+                 max_steps_per_path: int = 4096,
+                 max_states: int = 4096,
+                 max_paths: Optional[int] = None,
+                 max_defects: Optional[int] = None,
+                 max_instructions: Optional[int] = None,
+                 max_fork_targets: int = 4,
+                 max_visits_per_pc: Optional[int] = None,
+                 symbolic_read_window: int = 32,
+                 max_address_values: int = 4,
+                 check_div_zero: bool = True,
+                 div_check_respects_guards: bool = False,
+                 check_oob: bool = True,
+                 check_uninit: bool = False,
+                 check_write_protect: bool = True,
+                 check_tainted_control: bool = False,
+                 merge_states: bool = False,
+                 dedup_defects: bool = True,
+                 collect_path_inputs: bool = True,
+                 collect_coverage: bool = False,
+                 cow_memory: bool = True):
+        self.max_steps_per_path = max_steps_per_path
+        self.max_states = max_states
+        self.max_paths = max_paths
+        self.max_defects = max_defects
+        self.max_instructions = max_instructions
+        self.max_fork_targets = max_fork_targets
+        # Loop bound: a single path revisiting one pc more than this many
+        # times is pruned (recorded as a 'loop-limit' path). None = off.
+        self.max_visits_per_pc = max_visits_per_pc
+        self.symbolic_read_window = symbolic_read_window
+        self.max_address_values = max_address_values
+        self.check_div_zero = check_div_zero
+        # Architectural division guards are *inside* the instruction
+        # semantics ("(d == 0) ? -1 : a/d" on RISC-V-style ISAs): with this
+        # False (the default), the div-zero checker looks through such
+        # expression-level guards, because a software division whose divisor
+        # can be zero is a defect even though the hardware defines a result.
+        # Software guards are branch instructions, which land in the path
+        # condition and are always respected.
+        self.div_check_respects_guards = div_check_respects_guards
+        self.check_oob = check_oob
+        self.check_uninit = check_uninit
+        self.check_write_protect = check_write_protect
+        # Report indirect control transfers whose target depends on
+        # program input (the classic "attacker controls pc" detector).
+        self.check_tainted_control = check_tainted_control
+        # Opportunistic state merging at common pcs (veritesting-lite;
+        # see repro.core.merge). Collapses diamond-shaped path explosion
+        # into ite-terms at the cost of bigger solver queries.
+        self.merge_states = merge_states
+        self.dedup_defects = dedup_defects
+        self.collect_path_inputs = collect_path_inputs
+        self.collect_coverage = collect_coverage
+        self.cow_memory = cow_memory
+
+
+class _Outcome:
+    """Control effects accumulated while executing one IR block."""
+
+    __slots__ = ("next_pc", "halted", "exit_code", "trapped", "trap_code")
+
+    def __init__(self):
+        self.next_pc: Optional[T.Term] = None
+        self.halted = False
+        self.exit_code: Optional[T.Term] = None
+        self.trapped = False
+        self.trap_code: Optional[T.Term] = None
+
+
+class _PathEnd(Exception):
+    """Internal: the current path cannot continue (defect or dead end)."""
+
+    def __init__(self, reason: str):
+        self.reason = reason
+        super().__init__(reason)
+
+
+class Engine:
+    """Symbolic executor over a generated :class:`ArchModel`."""
+
+    def __init__(self, model, config: Optional[EngineConfig] = None,
+                 solver: Optional[Solver] = None, strategy: str = "dfs",
+                 seed: int = 0):
+        self.model = model
+        self.config = config if config is not None else EngineConfig()
+        self.solver = solver if solver is not None else Solver()
+        self.strategy: Strategy = make_strategy(strategy, seed)
+        self._coverage_feedback = (self.strategy
+                                   if isinstance(self.strategy,
+                                                 CoverageStrategy) else None)
+        if self.config.merge_states:
+            from .merge import MergingFrontier
+            self.strategy = MergingFrontier(self.strategy)
+        self.memory_map = MemoryMap()
+        self._base_memory = SymMemory(self.memory_map,
+                                      cow=self.config.cow_memory)
+        # Address hooks ("SimProcedure"-style): pc -> callable(engine,
+        # state) -> Optional[list[SymState]].  See Engine.hook().
+        self._hooks: Dict[int, object] = {}
+        # User-registered checkers, called before each instruction.
+        self._checkers: List[object] = []
+        self._entry: Optional[int] = None
+        self._result: Optional[R.ExplorationResult] = None
+        self._defect_sites: set = set()
+        self._endian = model.endian
+        self._addr_width = model.pc_width
+
+    # -- setup -------------------------------------------------------------------
+
+    def load_image(self, image, writable: bool = True) -> None:
+        """Map an assembled image and take its entry point."""
+        self._base_memory.load_image(image.base, bytes(image.data),
+                                     name="image", writable=writable)
+        self._entry = image.entry
+
+    def add_region(self, start: int, size: int, name: str = "region",
+                   writable: bool = True, track_uninit: bool = False) -> Region:
+        """Declare additional valid memory (stack, heap, MMIO buffers)."""
+        return self.memory_map.add(
+            Region(start, size, name, writable, track_uninit))
+
+    def hook(self, address: int, handler) -> None:
+        """Replace execution at ``address`` with a Python handler.
+
+        ``handler(engine, state)`` runs instead of the instruction there
+        (the angr "SimProcedure" idea: model library calls, summarize
+        functions, inject faults).  It may mutate ``state`` and must
+        return the list of successor states (returning ``[state]`` to
+        continue it, after advancing ``state.pc`` itself), or ``None`` as
+        shorthand for "advance past this instruction and continue".
+        """
+        self._hooks[address] = handler
+
+    def unhook(self, address: int) -> None:
+        self._hooks.pop(address, None)
+
+    def add_checker(self, checker) -> None:
+        """Register ``checker(engine, state, decoded)`` to run before each
+        instruction.  Use :meth:`report` inside it to file defects."""
+        self._checkers.append(checker)
+
+    def report(self, state: SymState, kind: str, message: str,
+               decoded=None) -> None:
+        """File a defect from a hook or custom checker."""
+        self._report(state, kind, decoded, message)
+
+    def initial_state(self) -> SymState:
+        if self._entry is None:
+            raise EngineError("no image loaded; call load_image() first")
+        state = SymState(self.model, self._base_memory.fork())
+        state.pc = self._entry
+        return state
+
+    # -- exploration --------------------------------------------------------------
+
+    def explore(self, state: Optional[SymState] = None) -> R.ExplorationResult:
+        """Run exploration to exhaustion or a configured limit."""
+        result = R.ExplorationResult()
+        self._result = result
+        self._defect_sites = set()
+        start_time = time.perf_counter()
+        self.strategy.push(state if state is not None else
+                           self.initial_state())
+        try:
+            while self.strategy:
+                if self._limit_hit(result):
+                    break
+                current = self.strategy.pop()
+                for successor in self._step(current, result):
+                    if len(self.strategy) >= self.config.max_states:
+                        result.states_pruned += 1
+                        continue
+                    self.strategy.push(successor)
+        finally:
+            result.wall_time = time.perf_counter() - start_time
+            result.solver_stats = self.solver.stats.as_dict()
+            self._result = None
+        return result
+
+    def _limit_hit(self, result: R.ExplorationResult) -> bool:
+        cfg = self.config
+        if cfg.max_paths is not None and len(result.paths) >= cfg.max_paths:
+            result.stop_reason = "max-paths"
+            return True
+        if (cfg.max_defects is not None
+                and len(result.defects) >= cfg.max_defects):
+            result.stop_reason = "max-defects"
+            return True
+        if (cfg.max_instructions is not None
+                and result.instructions_executed >= cfg.max_instructions):
+            result.stop_reason = "max-instructions"
+            return True
+        return False
+
+    # -- single step -----------------------------------------------------------------
+
+    def _step(self, state: SymState,
+              result: R.ExplorationResult) -> List[SymState]:
+        """Execute one instruction of ``state``; returns live successors."""
+        if self._coverage_feedback is not None:
+            self._coverage_feedback.visit(state.pc)
+        if self.config.collect_coverage:
+            result.visited_pcs.add(state.pc)
+        if self.config.max_visits_per_pc is not None:
+            visits = state.visit_counts.get(state.pc, 0) + 1
+            if visits > self.config.max_visits_per_pc:
+                result.paths.append(R.PathResult(
+                    "loop-limit", state, self._path_input(state)))
+                result.states_pruned += 1
+                return []
+            state.visit_counts[state.pc] = visits
+        hook = self._hooks.get(state.pc)
+        if hook is not None:
+            result.instructions_executed += 1
+            successors = hook(self, state)
+            if successors is None:
+                try:
+                    decoded = self._fetch(state)
+                except _PathEnd:
+                    return []
+                state.pc = (state.pc + decoded.length) \
+                    & T.mask(self._addr_width)
+                return [state]
+            return list(successors)
+        try:
+            decoded = self._fetch(state)
+        except _PathEnd:
+            return []
+        for checker in self._checkers:
+            checker(self, state, decoded)
+        result.instructions_executed += 1
+        try:
+            finished = self._exec_block(state, decoded)
+        except _PathEnd:
+            return []
+        successors: List[SymState] = []
+        for sub_state, outcome in finished:
+            sub_state.steps += 1
+            if outcome.trapped:
+                self._report(sub_state, R.TRAP, decoded,
+                             "trap instruction reached")
+                continue
+            if outcome.halted:
+                self._finish_path(sub_state, outcome, result)
+                continue
+            if sub_state.steps >= self.config.max_steps_per_path:
+                result.paths.append(R.PathResult(
+                    "depth-limit", sub_state,
+                    self._path_input(sub_state)))
+                continue
+            successors.extend(
+                self._advance_pc(sub_state, outcome, decoded, result))
+        if len(finished) > 1:
+            result.states_forked += len(finished) - 1
+        return successors
+
+    def _fetch(self, state: SymState):
+        window = state.memory.concrete_window(
+            state.pc, self.model.decoder.max_length)
+        if window is None:
+            self._report(state, R.INVALID_INSTRUCTION, None,
+                         "symbolic bytes in instruction stream")
+            raise _PathEnd("symbolic-code")
+        try:
+            return self.model.decoder.decode_bytes(window, state.pc)
+        except DecodeError:
+            self._report(state, R.INVALID_INSTRUCTION, None,
+                         "undecodable instruction")
+            raise _PathEnd("decode-error")
+
+    def _finish_path(self, state: SymState, outcome: _Outcome,
+                     result: R.ExplorationResult) -> None:
+        exit_code = None
+        if outcome.exit_code is not None and outcome.exit_code.is_const():
+            exit_code = outcome.exit_code.value
+        result.paths.append(R.PathResult(
+            "halted", state, self._path_input(state), exit_code))
+
+    def _path_input(self, state: SymState) -> bytes:
+        if not self.config.collect_path_inputs:
+            return b""
+        if not state.path_condition:
+            return bytes(len(state.input_vars))
+        if self.solver.check(extra=state.path_condition) != SAT:
+            return b""
+        return state.input_bytes_from_model(self.solver.model())
+
+    def _advance_pc(self, state: SymState, outcome: _Outcome, decoded,
+                    result: R.ExplorationResult) -> List[SymState]:
+        if outcome.next_pc is None:
+            state.pc = (state.pc + decoded.length) & T.mask(self._addr_width)
+            return [state]
+        target = outcome.next_pc
+        if target.is_const():
+            state.pc = target.value
+            return [state]
+        if self.config.check_tainted_control and any(
+                name.startswith("in_") for name in T.variables(target)):
+            self._report(state, R.TAINTED_CONTROL, decoded,
+                         "jump target depends on program input")
+        # Indirect jump with a symbolic target: enumerate feasible values.
+        values = self._enumerate(state, target, (),
+                                 self.config.max_fork_targets)
+        if not values:
+            return []
+        successors = []
+        for value in values:
+            branch = state if len(values) == 1 else state.fork()
+            branch.assume(T.eq(target, T.bv(value, target.width)))
+            branch.pc = value
+            successors.append(branch)
+        result.states_forked += max(0, len(successors) - 1)
+        return successors
+
+    # -- block execution (with forking on symbolic conditions) ----------------------
+
+    def _exec_block(self, state: SymState,
+                    decoded) -> List[Tuple[SymState, _Outcome]]:
+        fields = {name: T.bv(value, self._field_width(decoded, name))
+                  for name, value in decoded.fields.items()}
+        frames = [(decoded.instruction.semantics, 0)]
+        return self._run_frames(state, frames, {}, _Outcome(), fields,
+                                decoded)
+
+    def _field_width(self, decoded, name: str) -> int:
+        operand = decoded.instruction.operands.get(name)
+        if operand is not None:
+            return operand.width
+        return decoded.instruction.encoding.field(name).width
+
+    def _run_frames(self, state, frames, local_values, outcome, fields,
+                    decoded) -> List[Tuple[SymState, _Outcome]]:
+        """Execute a continuation stack of (stmts, index) frames."""
+        while frames:
+            stmts, index = frames[-1]
+            if index >= len(stmts):
+                frames.pop()
+                continue
+            frames[-1] = (stmts, index + 1)
+            stmt = stmts[index]
+            if isinstance(stmt, N.IfStmt):
+                cond = self._eval(state, stmt.cond, fields, local_values, (),
+                                  decoded)
+                if cond.is_const():
+                    body = stmt.then_body if cond.value == 1 else stmt.else_body
+                    if body:
+                        frames.append((body, 0))
+                    continue
+                return self._fork_if(state, stmt, cond, frames, local_values,
+                                     outcome, fields, decoded)
+            terminal = self._exec_simple(state, stmt, outcome, fields,
+                                         local_values, decoded)
+            if terminal:
+                return [(state, outcome)]
+        return [(state, outcome)]
+
+    def _fork_if(self, state, stmt, cond, frames, local_values, outcome,
+                 fields, decoded) -> List[Tuple[SymState, _Outcome]]:
+        results: List[Tuple[SymState, _Outcome]] = []
+        branches = ((cond, stmt.then_body), (T.not_(cond), stmt.else_body))
+        feasible = []
+        for branch_cond, body in branches:
+            if self.solver.check(
+                    extra=state.path_condition + [branch_cond]) == SAT:
+                feasible.append((branch_cond, body))
+        for position, (branch_cond, body) in enumerate(feasible):
+            last = position == len(feasible) - 1
+            branch_state = state if last else state.fork()
+            branch_state.assume(branch_cond)
+            branch_frames = [(stmts, idx) for stmts, idx in frames]
+            if body:
+                branch_frames.append((tuple(body), 0))
+            branch_outcome = _Outcome()
+            for slot in _Outcome.__slots__:
+                setattr(branch_outcome, slot, getattr(outcome, slot))
+            branch_locals = dict(local_values)
+            try:
+                results.extend(self._run_frames(
+                    branch_state, branch_frames, branch_locals,
+                    branch_outcome, fields, decoded))
+            except _PathEnd:
+                # This branch died (e.g. OOB store); siblings continue.
+                continue
+        return results
+
+    def _exec_simple(self, state, stmt, outcome, fields, local_values,
+                     decoded) -> bool:
+        """Execute a non-branching statement; True means block terminated."""
+        if isinstance(stmt, N.SetLocal):
+            if isinstance(stmt.value, N.InputByte):
+                local_values[stmt.name] = state.next_input()
+            else:
+                local_values[stmt.name] = self._eval(
+                    state, stmt.value, fields, local_values, (), decoded)
+            return False
+        if isinstance(stmt, N.SetReg):
+            if isinstance(stmt.value, N.InputByte):
+                value = state.next_input()
+            else:
+                value = self._eval(state, stmt.value, fields, local_values,
+                                   (), decoded)
+            index = None
+            if stmt.index is not None:
+                index_term = self._eval(state, stmt.index, fields,
+                                        local_values, (), decoded)
+                index = self._concrete_index(state, index_term, decoded)
+            state.write_reg(stmt.regfile, index, value)
+            return False
+        if isinstance(stmt, N.SetPc):
+            outcome.next_pc = self._eval(state, stmt.value, fields,
+                                         local_values, (), decoded)
+            return False
+        if isinstance(stmt, N.Store):
+            addr = self._eval(state, stmt.addr, fields, local_values, (),
+                              decoded)
+            value = self._eval(state, stmt.value, fields, local_values, (),
+                               decoded)
+            self._store(state, addr, value, stmt.size, decoded)
+            return False
+        if isinstance(stmt, N.Output):
+            state.output.append(self._eval(state, stmt.value, fields,
+                                           local_values, (), decoded))
+            return False
+        if isinstance(stmt, N.Halt):
+            outcome.halted = True
+            outcome.exit_code = self._eval(state, stmt.code, fields,
+                                           local_values, (), decoded)
+            return True
+        if isinstance(stmt, N.Trap):
+            outcome.trapped = True
+            outcome.trap_code = self._eval(state, stmt.code, fields,
+                                           local_values, (), decoded)
+            return True
+        raise EngineError("unknown IR statement %r" % (stmt,))
+
+    # -- expression evaluation ------------------------------------------------------
+
+    _BINOP_BUILDERS = {
+        "add": T.add, "sub": T.sub, "mul": T.mul,
+        "udiv": T.udiv, "urem": T.urem, "sdiv": T.sdiv, "srem": T.srem,
+        "and": T.and_, "or": T.or_, "xor": T.xor,
+        "shl": T.shl, "lshr": T.lshr, "ashr": T.ashr,
+        "eq": T.eq, "ne": T.ne, "ult": T.ult, "ule": T.ule,
+        "ugt": T.ugt, "uge": T.uge, "slt": T.slt, "sle": T.sle,
+        "sgt": T.sgt, "sge": T.sge,
+    }
+
+    _DIV_OPS = frozenset({"udiv", "urem", "sdiv", "srem"})
+
+    def _eval(self, state: SymState, expr: N.Expr, fields, local_values,
+              guards: Tuple[T.Term, ...], decoded) -> T.Term:
+        if isinstance(expr, N.Const):
+            return T.bv(expr.value, expr.width)
+        if isinstance(expr, N.Field):
+            return fields[expr.name]
+        if isinstance(expr, N.Local):
+            return local_values[expr.name]
+        if isinstance(expr, N.Pc):
+            return T.bv(state.pc, expr.width)
+        if isinstance(expr, N.ReadReg):
+            index = None
+            if expr.index is not None:
+                index_term = self._eval(state, expr.index, fields,
+                                        local_values, guards, decoded)
+                index = self._concrete_index(state, index_term, decoded)
+            return state.read_reg(expr.regfile, index)
+        if isinstance(expr, N.Load):
+            addr = self._eval(state, expr.addr, fields, local_values,
+                              guards, decoded)
+            return self._load(state, addr, expr.size, guards, decoded)
+        if isinstance(expr, N.BinOp):
+            left = self._eval(state, expr.left, fields, local_values,
+                              guards, decoded)
+            right = self._eval(state, expr.right, fields, local_values,
+                               guards, decoded)
+            if expr.op in self._DIV_OPS and self.config.check_div_zero:
+                self._check_div(state, right, guards, decoded)
+            return self._BINOP_BUILDERS[expr.op](left, right)
+        if isinstance(expr, N.UnOp):
+            operand = self._eval(state, expr.operand, fields, local_values,
+                                 guards, decoded)
+            if expr.op == "not":
+                return T.not_(operand)
+            if expr.op == "neg":
+                return T.neg(operand)
+            if expr.op == "boolnot":
+                return T.not_(operand)
+            raise EngineError("unknown unary op %r" % expr.op)
+        if isinstance(expr, N.Ext):
+            operand = self._eval(state, expr.operand, fields, local_values,
+                                 guards, decoded)
+            extra = expr.width - operand.width
+            return T.zext(operand, extra) if expr.kind == "zext" else \
+                T.sext(operand, extra)
+        if isinstance(expr, N.ExtractBits):
+            operand = self._eval(state, expr.operand, fields, local_values,
+                                 guards, decoded)
+            return T.extract(operand, expr.hi, expr.lo)
+        if isinstance(expr, N.ConcatBits):
+            hi_part = self._eval(state, expr.hi_part, fields, local_values,
+                                 guards, decoded)
+            lo_part = self._eval(state, expr.lo_part, fields, local_values,
+                                 guards, decoded)
+            return T.concat(hi_part, lo_part)
+        if isinstance(expr, N.IteExpr):
+            cond = self._eval(state, expr.cond, fields, local_values,
+                              guards, decoded)
+            if cond.is_const():
+                chosen = expr.then if cond.value == 1 else expr.other
+                return self._eval(state, chosen, fields, local_values,
+                                  guards, decoded)
+            then = self._eval(state, expr.then, fields, local_values,
+                              guards + (cond,), decoded)
+            other = self._eval(state, expr.other, fields, local_values,
+                               guards + (T.not_(cond),), decoded)
+            return T.ite(cond, then, other)
+        if isinstance(expr, N.InputByte):
+            raise EngineError(
+                "in() must be a whole right-hand side (translator bug)")
+        raise EngineError("unknown IR expression %r" % (expr,))
+
+    # -- checkers --------------------------------------------------------------------
+
+    def _check_div(self, state: SymState, divisor: T.Term, guards,
+                   decoded) -> None:
+        zero = T.bv(0, divisor.width)
+        cond = T.eq(divisor, zero)
+        if T.is_false(cond):
+            return
+        site = (R.DIV_BY_ZERO, state.pc)
+        if self.config.dedup_defects and site in self._defect_sites:
+            return
+        query = state.path_condition + [cond]
+        if self.config.div_check_respects_guards:
+            query = state.path_condition + list(guards) + [cond]
+        if self.solver.check(extra=query) == SAT:
+            self._report(state, R.DIV_BY_ZERO, decoded,
+                         "divisor can be zero",
+                         model=self.solver.model())
+
+    def _check_mapped(self, state: SymState, addr: T.Term, guards,
+                      decoded, writing: bool) -> bool:
+        """OOB / write-protect checks; False ends the path."""
+        if not self.config.check_oob:
+            return True
+        inside = self.memory_map.membership_term(addr)
+        outside = T.not_(inside)
+        if addr.is_const():
+            region = self.memory_map.region_for(addr.value)
+            if region is None:
+                self._report(state, R.OOB_ACCESS, decoded,
+                             "access to unmapped address %#x" % addr.value)
+                return False
+            if writing and not region.writable and \
+                    self.config.check_write_protect:
+                self._report(state, R.WRITE_TO_CODE, decoded,
+                             "write to read-only region %r at %#x"
+                             % (region.name, addr.value))
+                return False
+            return True
+        site = (R.OOB_ACCESS, state.pc)
+        skip_report = self.config.dedup_defects and site in self._defect_sites
+        if not skip_report and self.solver.check(
+                extra=state.path_condition + list(guards) + [outside]) == SAT:
+            model = self.solver.model()
+            bad_addr = T.evaluate(addr, model)
+            self._report(state, R.OOB_ACCESS, decoded,
+                         "access can reach unmapped address %#x" % bad_addr,
+                         model=model)
+        # Constrain to mapped memory and continue if possible.
+        state.assume(inside)
+        return self.solver.check(extra=state.path_condition) == SAT
+
+    def _report(self, state: SymState, kind: str, decoded, message: str,
+                model: Optional[Dict[str, int]] = None) -> None:
+        result = self._result
+        if result is None:
+            return
+        site = (kind, state.pc)
+        if self.config.dedup_defects and site in self._defect_sites:
+            return
+        self._defect_sites.add(site)
+        if model is None:
+            if state.path_condition and self.solver.check(
+                    extra=state.path_condition) != SAT:
+                return  # path infeasible after all; drop silently
+            model = self.solver.model() if state.path_condition else {}
+        instruction = decoded.instruction.name if decoded else "?"
+        result.defects.append(R.Defect(
+            kind, state.pc, instruction, message,
+            state.input_bytes_from_model(model), model,
+            state.state_id, state.steps))
+
+    # -- memory access with concretization ----------------------------------------------
+
+    def _load(self, state: SymState, addr: T.Term, size: int, guards,
+              decoded) -> T.Term:
+        if not self._check_mapped(state, addr, guards, decoded,
+                                  writing=False):
+            raise _PathEnd("oob-load")
+        if addr.is_const():
+            self._check_uninit(state, addr.value, size, decoded)
+            return state.memory.read(addr.value, size, self._endian)
+        values = self._resolve_address(state, addr, guards)
+        if not values:
+            raise _PathEnd("no-feasible-address")
+        result = state.memory.read(values[-1], size, self._endian)
+        for value in reversed(values[:-1]):
+            result = T.ite(T.eq(addr, T.bv(value, addr.width)),
+                           state.memory.read(value, size, self._endian),
+                           result)
+        state.assume(T.disjoin(T.eq(addr, T.bv(v, addr.width))
+                               for v in values))
+        return result
+
+    def _store(self, state: SymState, addr: T.Term, value: T.Term,
+               size: int, decoded) -> None:
+        if not self._check_mapped(state, addr, (), decoded, writing=True):
+            raise _PathEnd("oob-store")
+        if addr.is_const():
+            state.memory.write(addr.value, value, size, self._endian)
+            return
+        values = self._resolve_address(state, addr, ())
+        if not values:
+            raise _PathEnd("no-feasible-address")
+        # Concretize the store: constrain the address to one value (the
+        # common single-value case is exact; multi-value is weakened by
+        # ite-merging the old contents).
+        if len(values) == 1:
+            state.assume(T.eq(addr, T.bv(values[0], addr.width)))
+            state.memory.write(values[0], value, size, self._endian)
+            return
+        state.assume(T.disjoin(T.eq(addr, T.bv(v, addr.width))
+                               for v in values))
+        for candidate in values:
+            hit = T.eq(addr, T.bv(candidate, addr.width))
+            old = state.memory.read(candidate, size, self._endian)
+            state.memory.write(candidate, T.ite(hit, value, old), size,
+                               self._endian)
+
+    def _check_uninit(self, state: SymState, addr: int, size: int,
+                      decoded) -> None:
+        if not self.config.check_uninit:
+            return
+        for offset in range(size):
+            byte_addr = addr + offset
+            region = self.memory_map.region_for(byte_addr)
+            if (region is not None and region.track_uninit
+                    and not state.memory.is_initialized(byte_addr)):
+                self._report(state, R.UNINIT_READ, decoded,
+                             "read of uninitialized byte at %#x" % byte_addr)
+                return
+
+    def _resolve_address(self, state: SymState, addr: T.Term,
+                         guards) -> List[int]:
+        """Concrete candidate addresses for a symbolic address term."""
+        from ..smt.interval import interval
+        lo, hi = interval(addr)
+        window = self.config.symbolic_read_window
+        if hi - lo + 1 <= window:
+            return [value for value in range(lo, hi + 1)
+                    if self.memory_map.is_mapped(value)]
+        return self._enumerate(state, addr, guards,
+                               self.config.max_address_values)
+
+    def _enumerate(self, state: SymState, term: T.Term, guards,
+                   limit: int) -> List[int]:
+        """Solver-enumerate up to ``limit`` feasible values of ``term``."""
+        found: List[int] = []
+        exclusions: List[T.Term] = []
+        base = state.path_condition + list(guards)
+        while len(found) < limit:
+            if self.solver.check(extra=base + exclusions) != SAT:
+                break
+            value = T.evaluate(term, self.solver.model())
+            found.append(value)
+            exclusions.append(T.ne(term, T.bv(value, term.width)))
+        return found
+
+    # -- register index concretization ----------------------------------------------------
+
+    def _concrete_index(self, state: SymState, index_term: T.Term,
+                        decoded) -> int:
+        if index_term.is_const():
+            return index_term.value
+        # Register indices come from encoding fields in every built-in ISA,
+        # so a symbolic index indicates exotic semantics; concretize to the
+        # first feasible value and constrain.
+        values = self._enumerate(state, index_term, (), 1)
+        if not values:
+            raise _PathEnd("no-feasible-register-index")
+        state.assume(T.eq(index_term, T.bv(values[0], index_term.width)))
+        return values[0]

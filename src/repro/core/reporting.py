@@ -1,0 +1,93 @@
+"""Defect reports and exploration results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["Defect", "PathResult", "ExplorationResult",
+           "DIV_BY_ZERO", "OOB_ACCESS", "UNINIT_READ", "TRAP",
+           "INVALID_INSTRUCTION", "WRITE_TO_CODE", "TAINTED_CONTROL"]
+
+# Defect kinds (the suite's CWE-ish taxonomy).
+DIV_BY_ZERO = "division-by-zero"          # CWE-369
+OOB_ACCESS = "out-of-bounds-access"       # CWE-121/122/125/787
+UNINIT_READ = "uninitialized-read"        # CWE-457
+TRAP = "reachable-trap"                   # assertion failure
+INVALID_INSTRUCTION = "invalid-instruction"
+WRITE_TO_CODE = "write-to-code"
+TAINTED_CONTROL = "tainted-control-flow"  # CWE-(94/)822: pc from input
+
+
+class Defect:
+    """One confirmed defect with a solver-produced triggering input."""
+
+    def __init__(self, kind: str, pc: int, instruction: str, message: str,
+                 input_bytes: bytes, model: Dict[str, int],
+                 state_id: int, steps: int):
+        self.kind = kind
+        self.pc = pc
+        self.instruction = instruction
+        self.message = message
+        self.input_bytes = input_bytes
+        self.model = model
+        self.state_id = state_id
+        self.steps = steps
+
+    def __repr__(self):
+        return "<Defect %s @ %#x (%s) input=%r>" % (
+            self.kind, self.pc, self.instruction, self.input_bytes)
+
+
+class PathResult:
+    """One completed path (halt / depth limit)."""
+
+    def __init__(self, status: str, state, input_bytes: bytes,
+                 exit_code: Optional[int] = None):
+        self.status = status        # 'halted', 'depth-limit', 'pruned'
+        self.state = state
+        self.input_bytes = input_bytes
+        self.exit_code = exit_code
+
+    def __repr__(self):
+        return "<PathResult %s exit=%r input=%r>" % (
+            self.status, self.exit_code, self.input_bytes)
+
+
+class ExplorationResult:
+    """Everything one :meth:`Engine.explore` call produced."""
+
+    def __init__(self):
+        self.paths: List[PathResult] = []
+        self.defects: List[Defect] = []
+        self.instructions_executed = 0
+        self.states_forked = 0
+        self.states_pruned = 0
+        self.solver_stats: Dict[str, float] = {}
+        self.wall_time = 0.0
+        self.stop_reason = "exhausted"
+        # pc values executed (populated when the engine is configured
+        # with collect_coverage=True); feeds repro.core.coverage.
+        self.visited_pcs: set = set()
+
+    def defects_by_kind(self) -> Dict[str, List[Defect]]:
+        grouped: Dict[str, List[Defect]] = {}
+        for defect in self.defects:
+            grouped.setdefault(defect.kind, []).append(defect)
+        return grouped
+
+    def first_defect(self, kind: Optional[str] = None) -> Optional[Defect]:
+        for defect in self.defects:
+            if kind is None or defect.kind == kind:
+                return defect
+        return None
+
+    def summary(self) -> str:
+        lines = ["paths=%d defects=%d instructions=%d forks=%d time=%.3fs"
+                 % (len(self.paths), len(self.defects),
+                    self.instructions_executed, self.states_forked,
+                    self.wall_time)]
+        for defect in self.defects:
+            lines.append("  %s at %#x: %s (input %r)"
+                         % (defect.kind, defect.pc, defect.message,
+                            defect.input_bytes))
+        return "\n".join(lines)

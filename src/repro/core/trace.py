@@ -1,0 +1,114 @@
+"""Execution tracing for the concrete simulator.
+
+Wraps a :class:`~repro.isa.simulator.Simulator` step loop and records per
+instruction: address, disassembly, registers written (with old/new
+values), memory stores, and I/O.  Used for debugging generated semantics
+and for producing human-readable replays of solver-found inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.disasm import format_instruction
+from ..isa.simulator import Simulator
+
+__all__ = ["TraceEntry", "Tracer", "trace_run"]
+
+
+class TraceEntry:
+    """One executed instruction."""
+
+    __slots__ = ("index", "address", "text", "reg_writes", "stores",
+                 "output", "next_pc")
+
+    def __init__(self, index: int, address: int, text: str):
+        self.index = index
+        self.address = address
+        self.text = text
+        self.reg_writes: List[Tuple[str, int, int]] = []   # name, old, new
+        self.stores: List[Tuple[int, int]] = []            # addr, byte
+        self.output: List[int] = []
+        self.next_pc: Optional[int] = None
+
+    def format(self) -> str:
+        parts = ["%6d  %#08x  %-28s" % (self.index, self.address,
+                                        self.text)]
+        for name, old, new in self.reg_writes:
+            parts.append("%s: %#x -> %#x" % (name, old, new))
+        for addr, value in self.stores:
+            parts.append("[%#x] <- %#04x" % (addr, value))
+        if self.output:
+            parts.append("out %r" % bytes(self.output))
+        return "  ".join(parts)
+
+    def __repr__(self):
+        return "<TraceEntry %s>" % self.format().strip()
+
+
+class Tracer:
+    """Steps a simulator while recording a full trace."""
+
+    def __init__(self, model, simulator: Simulator):
+        self.model = model
+        self.simulator = simulator
+        self.entries: List[TraceEntry] = []
+
+    def _snapshot_regs(self) -> Dict[Tuple[str, Optional[int]], int]:
+        state = self.simulator.state
+        snapshot = {}
+        for name, values in state.regfiles.items():
+            for index, value in enumerate(values):
+                snapshot[(name, index)] = value
+        for name, value in state.registers.items():
+            snapshot[(name, None)] = value
+        return snapshot
+
+    def step(self) -> TraceEntry:
+        state = self.simulator.state
+        before_regs = self._snapshot_regs()
+        before_mem = dict(state.memory)
+        before_out = len(state.output)
+        address = state.pc
+
+        result = self.simulator.step()
+
+        entry = TraceEntry(len(self.entries), address,
+                           format_instruction(self.model, result.decoded))
+        after_regs = self._snapshot_regs()
+        for key, new in after_regs.items():
+            old = before_regs.get(key, 0)
+            if new != old:
+                name, index = key
+                label = name if index is None else "%s%d" % (
+                    self.model.regfiles[name].prefix, index)
+                entry.reg_writes.append((label, old, new))
+        for addr, value in state.memory.items():
+            if before_mem.get(addr) != value:
+                entry.stores.append((addr, value))
+        entry.output = list(state.output[before_out:])
+        entry.next_pc = state.pc
+        self.entries.append(entry)
+        return entry
+
+    def run(self, max_steps: int = 100000) -> "Tracer":
+        while not (self.simulator.halted or self.simulator.trapped):
+            if len(self.entries) >= max_steps:
+                break
+            self.step()
+        return self
+
+    def format(self, limit: Optional[int] = None) -> str:
+        entries = self.entries if limit is None else self.entries[:limit]
+        lines = [entry.format() for entry in entries]
+        if limit is not None and len(self.entries) > limit:
+            lines.append("... (%d more)" % (len(self.entries) - limit))
+        return "\n".join(lines)
+
+
+def trace_run(model, image, input_bytes: bytes = b"",
+              max_steps: int = 100000) -> Tracer:
+    """Load an image and run it to completion under the tracer."""
+    simulator = Simulator(model, input_bytes=input_bytes)
+    simulator.state.load_image(image)
+    return Tracer(model, simulator).run(max_steps)

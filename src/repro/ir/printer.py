@@ -1,0 +1,131 @@
+"""Pretty-printing of IR blocks (debugging aid and Table 1 artifact counts)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from . import nodes as N
+
+__all__ = ["format_expr", "format_block", "count_nodes"]
+
+_BINOP_SYMBOLS = {
+    "add": "+", "sub": "-", "mul": "*", "udiv": "/u", "urem": "%u",
+    "sdiv": "/s", "srem": "%s", "and": "&", "or": "|", "xor": "^",
+    "shl": "<<", "lshr": ">>u", "ashr": ">>s",
+    "eq": "==", "ne": "!=", "ult": "<u", "ule": "<=u", "ugt": ">u",
+    "uge": ">=u", "slt": "<s", "sle": "<=s", "sgt": ">s", "sge": ">=s",
+}
+
+
+def format_expr(expr: N.Expr) -> str:
+    if isinstance(expr, N.Const):
+        return "{:#x}".format(expr.value)
+    if isinstance(expr, N.Field):
+        return "$" + expr.name
+    if isinstance(expr, N.Local):
+        return expr.name
+    if isinstance(expr, N.Pc):
+        return "pc"
+    if isinstance(expr, N.InputByte):
+        return "in()"
+    if isinstance(expr, N.ReadReg):
+        if expr.index is None:
+            return expr.regfile
+        return "{}[{}]".format(expr.regfile, format_expr(expr.index))
+    if isinstance(expr, N.Load):
+        return "load({}, {})".format(format_expr(expr.addr), expr.size)
+    if isinstance(expr, N.BinOp):
+        return "({} {} {})".format(format_expr(expr.left),
+                                   _BINOP_SYMBOLS[expr.op],
+                                   format_expr(expr.right))
+    if isinstance(expr, N.UnOp):
+        symbol = {"not": "~", "neg": "-", "boolnot": "!"}[expr.op]
+        return "{}{}".format(symbol, format_expr(expr.operand))
+    if isinstance(expr, N.Ext):
+        return "{}({}, {})".format(expr.kind, format_expr(expr.operand),
+                                   expr.width)
+    if isinstance(expr, N.ExtractBits):
+        return "{}[{}:{}]".format(format_expr(expr.operand), expr.hi, expr.lo)
+    if isinstance(expr, N.ConcatBits):
+        return "({} :: {})".format(format_expr(expr.hi_part),
+                                   format_expr(expr.lo_part))
+    if isinstance(expr, N.IteExpr):
+        return "({} ? {} : {})".format(format_expr(expr.cond),
+                                       format_expr(expr.then),
+                                       format_expr(expr.other))
+    return repr(expr)
+
+
+def format_block(stmts: Sequence[N.Stmt], indent: int = 0) -> str:
+    lines: List[str] = []
+    pad = "  " * indent
+    for stmt in stmts:
+        if isinstance(stmt, N.SetLocal):
+            lines.append("{}{} = {}".format(pad, stmt.name,
+                                            format_expr(stmt.value)))
+        elif isinstance(stmt, N.SetReg):
+            target = stmt.regfile
+            if stmt.index is not None:
+                target = "{}[{}]".format(stmt.regfile, format_expr(stmt.index))
+            lines.append("{}{} = {}".format(pad, target,
+                                            format_expr(stmt.value)))
+        elif isinstance(stmt, N.SetPc):
+            lines.append("{}pc = {}".format(pad, format_expr(stmt.value)))
+        elif isinstance(stmt, N.Store):
+            lines.append("{}store({}, {}, {})".format(
+                pad, format_expr(stmt.addr), format_expr(stmt.value),
+                stmt.size))
+        elif isinstance(stmt, N.Output):
+            lines.append("{}out({})".format(pad, format_expr(stmt.value)))
+        elif isinstance(stmt, N.Halt):
+            lines.append("{}halt({})".format(pad, format_expr(stmt.code)))
+        elif isinstance(stmt, N.Trap):
+            lines.append("{}trap({})".format(pad, format_expr(stmt.code)))
+        elif isinstance(stmt, N.IfStmt):
+            lines.append("{}if {} {{".format(pad, format_expr(stmt.cond)))
+            lines.append(format_block(stmt.then_body, indent + 1))
+            if stmt.else_body:
+                lines.append("{}}} else {{".format(pad))
+                lines.append(format_block(stmt.else_body, indent + 1))
+            lines.append("{}}}".format(pad))
+        else:
+            lines.append("{}{!r}".format(pad, stmt))
+    return "\n".join(lines)
+
+
+def count_nodes(stmts: Sequence[N.Stmt]) -> int:
+    """Total number of IR nodes in a block (Table 1's 'IR ops' column)."""
+    total = 0
+
+    def walk_expr(expr: N.Expr) -> None:
+        nonlocal total
+        total += 1
+        for child in expr.children():
+            walk_expr(child)
+
+    def walk_stmt(stmt: N.Stmt) -> None:
+        nonlocal total
+        total += 1
+        if isinstance(stmt, (N.SetLocal, N.Output)):
+            walk_expr(stmt.value)
+        elif isinstance(stmt, N.SetReg):
+            if stmt.index is not None:
+                walk_expr(stmt.index)
+            walk_expr(stmt.value)
+        elif isinstance(stmt, N.SetPc):
+            walk_expr(stmt.value)
+        elif isinstance(stmt, N.Store):
+            walk_expr(stmt.addr)
+            walk_expr(stmt.value)
+        elif isinstance(stmt, (N.Halt, N.Trap)):
+            walk_expr(stmt.code)
+        elif isinstance(stmt, N.IfStmt):
+            walk_expr(stmt.cond)
+            for inner in stmt.then_body:
+                walk_stmt(inner)
+            for inner in stmt.else_body:
+                walk_stmt(inner)
+
+    for stmt in stmts:
+        walk_stmt(stmt)
+    return total

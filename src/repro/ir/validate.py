@@ -1,0 +1,109 @@
+"""Structural/width validation of translated IR blocks.
+
+Run once per instruction definition after ADL translation: catches width
+mismatches and malformed nodes at model-build time instead of mid-execution.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from . import nodes as N
+
+__all__ = ["IrError", "validate_block", "validate_expr"]
+
+
+class IrError(Exception):
+    """A malformed IR block (translation bug or inconsistent ADL spec)."""
+
+
+def validate_expr(expr: N.Expr) -> None:
+    if expr.width <= 0:
+        raise IrError("expression %r has non-positive width" % (expr,))
+    if isinstance(expr, N.BinOp):
+        validate_expr(expr.left)
+        validate_expr(expr.right)
+        if expr.left.width != expr.right.width:
+            raise IrError("binop %s mixes widths %d and %d"
+                          % (expr.op, expr.left.width, expr.right.width))
+        if expr.op in N.BINARY_OPS:
+            if expr.width != expr.left.width:
+                raise IrError("binop %s result width %d != operand width %d"
+                              % (expr.op, expr.width, expr.left.width))
+        elif expr.op in N.COMPARISON_OPS:
+            if expr.width != 1:
+                raise IrError("comparison %s must have width 1" % expr.op)
+        else:
+            raise IrError("unknown binary operator %r" % expr.op)
+    elif isinstance(expr, N.UnOp):
+        validate_expr(expr.operand)
+        if expr.op not in N.UNARY_OPS:
+            raise IrError("unknown unary operator %r" % expr.op)
+        if expr.op == "boolnot":
+            if expr.operand.width != 1 or expr.width != 1:
+                raise IrError("boolnot requires width-1 operand and result")
+        elif expr.width != expr.operand.width:
+            raise IrError("unop %s changes width" % expr.op)
+    elif isinstance(expr, N.Ext):
+        validate_expr(expr.operand)
+        if expr.kind not in ("zext", "sext"):
+            raise IrError("unknown extension kind %r" % expr.kind)
+        if expr.width < expr.operand.width:
+            raise IrError("extension narrows from %d to %d bits"
+                          % (expr.operand.width, expr.width))
+    elif isinstance(expr, N.ExtractBits):
+        validate_expr(expr.operand)
+        if not (0 <= expr.lo <= expr.hi < expr.operand.width):
+            raise IrError("extract [%d:%d] out of range for width %d"
+                          % (expr.hi, expr.lo, expr.operand.width))
+    elif isinstance(expr, N.ConcatBits):
+        validate_expr(expr.hi_part)
+        validate_expr(expr.lo_part)
+    elif isinstance(expr, N.IteExpr):
+        validate_expr(expr.cond)
+        validate_expr(expr.then)
+        validate_expr(expr.other)
+        if expr.cond.width != 1:
+            raise IrError("ite condition must have width 1")
+        if expr.then.width != expr.other.width:
+            raise IrError("ite branches have widths %d and %d"
+                          % (expr.then.width, expr.other.width))
+    elif isinstance(expr, N.Load):
+        validate_expr(expr.addr)
+        if expr.size not in (1, 2, 4, 8):
+            raise IrError("unsupported load size %d" % expr.size)
+    elif isinstance(expr, N.ReadReg):
+        if expr.index is not None:
+            validate_expr(expr.index)
+    elif isinstance(expr, (N.Const, N.Field, N.Local, N.Pc, N.InputByte)):
+        pass
+    else:
+        raise IrError("unknown expression node %r" % (expr,))
+
+
+def validate_block(stmts: Sequence[N.Stmt]) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, N.SetLocal):
+            validate_expr(stmt.value)
+        elif isinstance(stmt, N.SetReg):
+            if stmt.index is not None:
+                validate_expr(stmt.index)
+            validate_expr(stmt.value)
+        elif isinstance(stmt, (N.SetPc, N.Output, N.Halt, N.Trap)):
+            validate_expr(stmt.value if hasattr(stmt, "value") else stmt.code)
+        elif isinstance(stmt, N.Store):
+            validate_expr(stmt.addr)
+            validate_expr(stmt.value)
+            if stmt.size not in (1, 2, 4, 8):
+                raise IrError("unsupported store size %d" % stmt.size)
+            if stmt.value.width != 8 * stmt.size:
+                raise IrError("store of %d-bit value with size %d bytes"
+                              % (stmt.value.width, stmt.size))
+        elif isinstance(stmt, N.IfStmt):
+            validate_expr(stmt.cond)
+            if stmt.cond.width != 1:
+                raise IrError("if condition must have width 1")
+            validate_block(stmt.then_body)
+            validate_block(stmt.else_body)
+        else:
+            raise IrError("unknown statement node %r" % (stmt,))

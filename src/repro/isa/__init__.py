@@ -1,0 +1,13 @@
+"""Generated ISA models: decoder, assembler, disassembler, simulator."""
+
+from .assembler import AsmError, Assembler, Image, assemble  # noqa: F401
+from .cfg import BasicBlock, Cfg, recover_cfg, static_successors  # noqa: F401
+from .decoder import Decoded, DecodeError, Decoder  # noqa: F401
+from .disasm import format_instruction  # noqa: F401
+from .model import ArchModel, Instruction, RegFileInfo, build  # noqa: F401
+from .simulator import (  # noqa: F401
+    MachineState,
+    SimError,
+    Simulator,
+    run_image,
+)

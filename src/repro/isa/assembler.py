@@ -1,0 +1,515 @@
+"""Generated two-pass assembler.
+
+The assembler is derived entirely from the ADL: mnemonics and operand
+shapes come from each instruction's ``syntax`` string, register names from
+regfile prefixes and aliases, and immediate/branch encodings from the
+``operand`` declarations (including pc-relative relocation and zero-padding
+divisibility checks).
+
+Supported source format::
+
+    .org 0x1000          ; set location counter     (also: # comments)
+    .entry start         ; entry point label
+    .equ LIMIT, 16       ; symbolic constant
+    start:               ; labels (may share a line with an instruction)
+        addi x1, x0, 5
+        beq  x1, x2, done
+    value: .word 0xdeadbeef
+    text:  .asciiz "hi"
+        .byte 1, 2, 3
+        .half 0x1234
+        .space 16
+        .align 4
+    done:
+        hlt 0
+
+``.word`` emits 4 bytes, ``.half`` 2, ``.byte`` 1, honouring the
+architecture's endianness.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..adl.analyze import syntax_placeholders
+
+__all__ = ["AsmError", "Image", "Assembler", "assemble"]
+
+
+class AsmError(Exception):
+    """Assembly failure, annotated with the source line number."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+
+
+class Image:
+    """An assembled, loadable memory image."""
+
+    def __init__(self, base: int):
+        self.base = base
+        self.data = bytearray()
+        self.symbols: Dict[str, int] = {}
+        self.entry = base
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+    def emit(self, blob: bytes) -> None:
+        self.data.extend(blob)
+
+    def patch(self, address: int, blob: bytes) -> None:
+        offset = address - self.base
+        self.data[offset:offset + len(blob)] = blob
+
+    def __contains__(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<char>'(?:\\.|[^'\\])')
+  | (?P<int>-?0[xX][0-9a-fA-F_]+|-?0[bB][01_]+|-?\d[\d_]*)
+  | (?P<name>[A-Za-z_.][A-Za-z0-9_.]*)
+  | (?P<punct>[(),+\-\[\]])
+""", re.VERBOSE)
+
+_ESCAPES = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39}
+
+
+def _tokenize_operands(text: str, line_no: int) -> List[Tuple[str, object]]:
+    tokens: List[Tuple[str, object]] = []
+    pos = 0
+    while pos < len(text):
+        if text[pos].isspace():
+            pos += 1
+            continue
+        found = _TOKEN_RE.match(text, pos)
+        if not found:
+            raise AsmError("cannot tokenize %r" % text[pos:], line_no)
+        if found.lastgroup == "int":
+            literal = found.group().replace("_", "")
+            tokens.append(("int", int(literal, 0)))
+        elif found.lastgroup == "char":
+            body = found.group()[1:-1]
+            if body.startswith("\\"):
+                if body[1] not in _ESCAPES:
+                    raise AsmError("bad escape %r" % body, line_no)
+                tokens.append(("int", _ESCAPES[body[1]]))
+            else:
+                tokens.append(("int", ord(body)))
+        elif found.lastgroup == "name":
+            tokens.append(("name", found.group()))
+        else:
+            tokens.append(("punct", found.group()))
+        pos = found.end()
+    return tokens
+
+
+class _SyntaxPattern:
+    """A compiled instruction syntax string."""
+
+    def __init__(self, instruction):
+        self.instruction = instruction
+        text = instruction.syntax
+        mnemonic, _, rest = text.partition(" ")
+        self.mnemonic = mnemonic
+        self.items: List[Tuple[str, object]] = []
+        pos = 0
+        placeholder_re = re.compile(r"\{([A-Za-z_][A-Za-z_0-9]*)"
+                                    r"(?::([A-Za-z_][A-Za-z_0-9]*))?\}")
+        while pos < len(rest):
+            ch = rest[pos]
+            if ch.isspace():
+                pos += 1
+                continue
+            if ch == "{":
+                found = placeholder_re.match(rest, pos)
+                self.items.append(("ph", (found.group(1), found.group(2))))
+                pos = found.end()
+            else:
+                self.items.append(("lit", ch))
+                pos += 1
+
+    def match(self, tokens, register_names, line_no):
+        """Try to bind tokens; returns placeholder->token dict or None."""
+        bound: Dict[str, Tuple[str, object]] = {}
+        pos = 0
+        for kind, payload in self.items:
+            if pos >= len(tokens):
+                return None
+            tok_kind, tok_value = tokens[pos]
+            if kind == "lit":
+                if tok_kind != "punct" or tok_value != payload:
+                    return None
+                pos += 1
+                continue
+            name, reg_kind = payload
+            if reg_kind is not None:
+                if tok_kind != "name" or tok_value not in register_names:
+                    return None
+                regfile, index = register_names[tok_value]
+                if regfile != reg_kind:
+                    return None
+                bound[name] = ("reg", index)
+                pos += 1
+                continue
+            # Immediate / label placeholder.  Support a leading '-' token
+            # produced when '-' is split from the number by the tokenizer.
+            if tok_kind == "int":
+                bound[name] = ("int", tok_value)
+                pos += 1
+            elif tok_kind == "name" and tok_value not in register_names:
+                bound[name] = ("label", tok_value)
+                pos += 1
+            else:
+                return None
+        if pos != len(tokens):
+            return None
+        return bound
+
+
+class Assembler:
+    """Two-pass assembler for one :class:`~repro.isa.model.ArchModel`."""
+
+    def __init__(self, model):
+        self.model = model
+        self._patterns: Dict[str, List[_SyntaxPattern]] = {}
+        for instr in model.instructions:
+            pattern = _SyntaxPattern(instr)
+            self._patterns.setdefault(pattern.mnemonic, []).append(pattern)
+
+    # -- public API -------------------------------------------------------------
+
+    def assemble(self, source: str, base: int = 0x1000) -> Image:
+        lines = self._split_lines(source)
+        symbols, entry_label, min_address = self._first_pass(lines, base)
+        # The image starts at the lowest address anything was emitted at
+        # (a leading .org below `base` moves the image down).
+        image = self._second_pass(lines, base, symbols,
+                                  min(base, min_address))
+        image.symbols = symbols
+        if entry_label is not None:
+            if entry_label not in symbols:
+                raise AsmError("entry label %r is undefined" % entry_label)
+            image.entry = symbols[entry_label]
+        return image
+
+    # -- line handling ------------------------------------------------------------
+
+    @staticmethod
+    def _split_lines(source: str):
+        """Yield (line_no, labels, statement) with comments stripped."""
+        result = []
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            for comment_char in ("#", ";"):
+                # Don't cut inside string literals.
+                cut = _find_outside_strings(raw, comment_char)
+                if cut >= 0:
+                    raw = raw[:cut]
+            text = raw.strip()
+            if not text:
+                continue
+            labels = []
+            while True:
+                found = re.match(r"([A-Za-z_][A-Za-z0-9_]*)\s*:", text)
+                if not found:
+                    break
+                labels.append(found.group(1))
+                text = text[found.end():].strip()
+            result.append((line_no, labels, text))
+        return result
+
+    # -- pass 1: layout ----------------------------------------------------------
+
+    def _first_pass(self, lines, base: int):
+        symbols: Dict[str, int] = {}
+        entry_label: Optional[str] = None
+        counter = base
+        min_address = base
+        for line_no, labels, text in lines:
+            for label in labels:
+                if label in symbols:
+                    raise AsmError("duplicate label %r" % label, line_no)
+                symbols[label] = counter
+            if not text:
+                continue
+            if text.startswith("."):
+                counter, entry = self._directive_size(
+                    text, counter, line_no, symbols)
+                if entry is not None:
+                    entry_label = entry
+                min_address = min(min_address, counter)
+                continue
+            min_address = min(min_address, counter)
+            counter += self._instruction_for(text, line_no)[0].instruction.length
+        return symbols, entry_label, min_address
+
+    def _directive_size(self, text, counter, line_no, symbols):
+        name, _, rest = text.partition(" ")
+        rest = rest.strip()
+        if name == ".org":
+            return self._int_value(rest, line_no), None
+        if name == ".entry":
+            return counter, rest
+        if name == ".equ":
+            label, _, value_text = rest.partition(",")
+            symbols[label.strip()] = self._int_value(value_text.strip(),
+                                                     line_no)
+            return counter, None
+        if name == ".byte":
+            return counter + len(_split_args(rest)), None
+        if name == ".half":
+            return counter + 2 * len(_split_args(rest)), None
+        if name == ".word":
+            return counter + 4 * len(_split_args(rest)), None
+        if name == ".space":
+            return counter + self._int_value(rest, line_no), None
+        if name == ".align":
+            alignment = self._int_value(rest, line_no)
+            remainder = counter % alignment
+            return counter + (alignment - remainder) % alignment, None
+        if name in (".ascii", ".asciiz"):
+            value = _parse_string(rest, line_no)
+            return counter + len(value) + (1 if name == ".asciiz" else 0), None
+        raise AsmError("unknown directive %r" % name, line_no)
+
+    @staticmethod
+    def _int_value(text, line_no):
+        try:
+            return int(text, 0)
+        except ValueError:
+            raise AsmError("expected an integer, got %r" % text, line_no)
+
+    # -- pass 2: emission -----------------------------------------------------------
+
+    def _second_pass(self, lines, base: int, symbols,
+                     image_base: Optional[int] = None) -> Image:
+        image = Image(base if image_base is None else image_base)
+        counter = base
+        for line_no, _labels, text in lines:
+            if not text:
+                continue
+            if text.startswith("."):
+                counter = self._emit_directive(image, text, counter, line_no,
+                                               symbols)
+                continue
+            pattern, bound = self._instruction_for(text, line_no)
+            blob = self._encode(pattern, bound, counter, symbols, line_no)
+            self._emit_at(image, counter, blob)
+            counter += len(blob)
+        return image
+
+    def _emit_at(self, image: Image, address: int, blob: bytes) -> None:
+        offset = address - image.base
+        if offset < 0:
+            raise AsmError("location counter %#x below base %#x"
+                           % (address, image.base))
+        if offset > len(image.data):
+            image.data.extend(b"\x00" * (offset - len(image.data)))
+        image.data[offset:offset + len(blob)] = blob
+
+    def _emit_directive(self, image, text, counter, line_no, symbols):
+        name, _, rest = text.partition(" ")
+        rest = rest.strip()
+        if name == ".org":
+            return self._int_value(rest, line_no)
+        if name in (".entry", ".equ"):
+            return counter
+        if name in (".byte", ".half", ".word"):
+            size = {".byte": 1, ".half": 2, ".word": 4}[name]
+            order = "little" if self.model.endian == "little" else "big"
+            blob = bytearray()
+            for arg in _split_args(rest):
+                value = self._value_or_label(arg.strip(), symbols, line_no)
+                blob.extend((value & ((1 << (8 * size)) - 1)).to_bytes(
+                    size, order))
+            self._emit_at(image, counter, bytes(blob))
+            return counter + len(blob)
+        if name == ".space":
+            amount = self._int_value(rest, line_no)
+            self._emit_at(image, counter, b"\x00" * amount)
+            return counter + amount
+        if name == ".align":
+            alignment = self._int_value(rest, line_no)
+            pad = (alignment - counter % alignment) % alignment
+            self._emit_at(image, counter, b"\x00" * pad)
+            return counter + pad
+        if name in (".ascii", ".asciiz"):
+            value = _parse_string(rest, line_no).encode("latin-1")
+            if name == ".asciiz":
+                value += b"\x00"
+            self._emit_at(image, counter, value)
+            return counter + len(value)
+        raise AsmError("unknown directive %r" % name, line_no)
+
+    def _value_or_label(self, text, symbols, line_no):
+        if re.match(r"^[A-Za-z_]", text) and text in symbols:
+            return symbols[text]
+        if text.startswith("'"):
+            tokens = _tokenize_operands(text, line_no)
+            return tokens[0][1]
+        return self._int_value(text, line_no)
+
+    # -- instruction selection and encoding ----------------------------------------
+
+    def _instruction_for(self, text, line_no):
+        mnemonic, _, rest = text.partition(" ")
+        candidates = self._patterns.get(mnemonic)
+        if not candidates:
+            raise AsmError("unknown mnemonic %r" % mnemonic, line_no)
+        tokens = _tokenize_operands(rest, line_no)
+        tokens = _merge_negative_ints(tokens)
+        for pattern in candidates:
+            bound = pattern.match(tokens, self.model.register_names, line_no)
+            if bound is not None:
+                return pattern, bound
+        raise AsmError("no operand form of %r matches %r"
+                       % (mnemonic, text), line_no)
+
+    def _encode(self, pattern: _SyntaxPattern, bound, address, symbols,
+                line_no) -> bytes:
+        instr = pattern.instruction
+        fields: Dict[str, int] = {}
+        for name, (kind, value) in bound.items():
+            if kind == "reg":
+                field = instr.encoding.field(name)
+                regfile_count = 1 << field.width
+                if value >= regfile_count:
+                    raise AsmError(
+                        "register index %d does not fit field %r"
+                        % (value, name), line_no)
+                fields[name] = value
+                continue
+            if kind == "label":
+                if value not in symbols:
+                    raise AsmError("undefined label %r" % value, line_no)
+                resolved = symbols[value]
+            else:
+                resolved = value
+            operand = instr.operands.get(name)
+            if operand is not None:
+                encoded = resolved
+                if operand.pcrel:
+                    # Labels and numeric operands are both absolute branch
+                    # targets (matching disassembler output), relocated
+                    # against the instruction address here.  The delta is
+                    # taken modulo the address space, then re-signed, so
+                    # targets that wrap around (as the disassembler
+                    # renders them) relocate consistently.
+                    addr_mask = (1 << self.model.pc_width) - 1
+                    encoded = (resolved - (address + operand.pcrel_base)) \
+                        & addr_mask
+                    if operand.signed and encoded > addr_mask >> 1:
+                        encoded -= addr_mask + 1
+                self._check_operand_range(operand, encoded, line_no)
+                instr.encode_operand(operand, encoded, fields)
+            else:
+                field = instr.encoding.field(name)
+                self._check_field_range(field, resolved, line_no)
+                fields[name] = resolved & ((1 << field.width) - 1)
+        word = instr.assemble_word(fields)
+        # Round-trip check: decode the word back and verify operand values.
+        self._verify_roundtrip(instr, word, bound, address, symbols, line_no)
+        return self.model.bytes_from_word(word, instr.length)
+
+    @staticmethod
+    def _check_operand_range(operand, value, line_no):
+        width = operand.width
+        if operand.signed:
+            lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        else:
+            lo, hi = 0, (1 << width) - 1
+        if not (lo <= value <= hi):
+            raise AsmError(
+                "value %d out of range [%d, %d] for operand %r"
+                % (value, lo, hi, operand.name), line_no)
+        zero_bits = 0
+        for part in reversed(operand.parts):
+            if part.field_name is None:
+                zero_bits += part.zero_bits
+            else:
+                break
+        if zero_bits and value & ((1 << zero_bits) - 1):
+            raise AsmError(
+                "value %d for operand %r must be a multiple of %d"
+                % (value, operand.name, 1 << zero_bits), line_no)
+
+    @staticmethod
+    def _check_field_range(field, value, line_no):
+        width = field.width
+        if not (-(1 << (width - 1)) <= value < (1 << width)):
+            raise AsmError("immediate %d does not fit %d-bit field %r"
+                           % (value, width, field.name), line_no)
+
+    def _verify_roundtrip(self, instr, word, bound, address, symbols,
+                          line_no):
+        decoded_fields = instr.bind(word)
+        for name, (kind, value) in bound.items():
+            if kind == "reg":
+                if decoded_fields[name] != value:
+                    raise AsmError("encoder round-trip failed on %r" % name,
+                                   line_no)
+
+
+def _find_outside_strings(text: str, needle: str) -> int:
+    in_string = False
+    for index, ch in enumerate(text):
+        if ch == '"' and (index == 0 or text[index - 1] != "\\"):
+            in_string = not in_string
+        elif ch == needle and not in_string:
+            return index
+    return -1
+
+
+def _split_args(text: str) -> List[str]:
+    return [part for part in (p.strip() for p in text.split(",")) if part]
+
+
+def _parse_string(text: str, line_no: int) -> str:
+    text = text.strip()
+    if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+        raise AsmError("expected a quoted string", line_no)
+    body = text[1:-1]
+    out = []
+    index = 0
+    while index < len(body):
+        ch = body[index]
+        if ch == "\\" and index + 1 < len(body):
+            out.append({"n": "\n", "t": "\t", "0": "\0",
+                        '"': '"', "\\": "\\"}.get(body[index + 1],
+                                                  body[index + 1]))
+            index += 2
+        else:
+            out.append(ch)
+            index += 1
+    return "".join(out)
+
+
+def _merge_negative_ints(tokens):
+    """Join a '-' punct directly followed by an int into a negative int.
+
+    Needed for operand positions like ``addi x1, x0, -5`` where the grammar
+    has no binary minus to disambiguate against.
+    """
+    merged = []
+    index = 0
+    while index < len(tokens):
+        kind, value = tokens[index]
+        if (kind == "punct" and value == "-" and index + 1 < len(tokens)
+                and tokens[index + 1][0] == "int"):
+            merged.append(("int", -tokens[index + 1][1]))
+            index += 2
+        else:
+            merged.append(tokens[index])
+            index += 1
+    return merged
+
+
+def assemble(model, source: str, base: int = 0x1000) -> Image:
+    """Convenience one-shot assembly."""
+    return Assembler(model).assemble(source, base)

@@ -1,0 +1,245 @@
+"""Static control-flow-graph recovery from a loaded image.
+
+Recursive-descent disassembly from the entry point: basic blocks, edges
+and their kinds, derived *from the generated IR* — so CFG recovery is as
+retargetable as the rest of the toolchain.  Successor extraction walks an
+instruction's IR for ``SetPc`` statements whose targets are static
+(constants or ``pc + constant``); indirect targets produce ``indirect``
+edges with unknown destinations.
+
+Used by the coverage reporter (:mod:`repro.core.coverage`) and on its own
+for program inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir import nodes as N
+from .decoder import DecodeError
+
+__all__ = ["BasicBlock", "Cfg", "recover_cfg", "static_successors"]
+
+# Edge kinds.
+FALL_THROUGH = "fall-through"
+BRANCH = "branch"
+JUMP = "jump"
+CALL_RETURN = "call-return"   # not distinguished; kept for extension
+INDIRECT = "indirect"
+HALT = "halt"
+TRAP = "trap"
+
+
+class BasicBlock:
+    """A maximal straight-line run of instructions."""
+
+    def __init__(self, start: int):
+        self.start = start
+        self.addresses: List[int] = []
+        self.successors: List[Tuple[Optional[int], str]] = []
+
+    @property
+    def end(self) -> int:
+        """Address just past the last instruction (0 width if empty)."""
+        return self.addresses[-1] if self.addresses else self.start
+
+    def __repr__(self):
+        return "<BasicBlock %#x (%d instrs)>" % (self.start,
+                                                 len(self.addresses))
+
+
+class Cfg:
+    """The recovered control-flow graph."""
+
+    def __init__(self, entry: int):
+        self.entry = entry
+        self.blocks: Dict[int, BasicBlock] = {}
+        self.instruction_addresses: Set[int] = set()
+        self.has_indirect = False
+
+    @property
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(block.successors) for block in self.blocks.values())
+
+    def block_of(self, address: int) -> Optional[BasicBlock]:
+        """The block containing an instruction address, if any."""
+        for block in self.blocks.values():
+            if address in block.addresses:
+                return block
+        return None
+
+    def __repr__(self):
+        return "<Cfg entry=%#x blocks=%d edges=%d>" % (
+            self.entry, self.block_count, self.edge_count)
+
+
+def _static_expr_value(expr: N.Expr, fields: Dict[str, int],
+                       pc: int, pc_width: int) -> Optional[int]:
+    """Evaluate an IR expression that depends only on pc and fields."""
+    mask = (1 << pc_width) - 1
+    if isinstance(expr, N.Const):
+        return expr.value
+    if isinstance(expr, N.Pc):
+        return pc & ((1 << expr.width) - 1)
+    if isinstance(expr, N.Field):
+        return fields[expr.name] & ((1 << expr.width) - 1)
+    if isinstance(expr, N.Ext):
+        inner = _static_expr_value(expr.operand, fields, pc, pc_width)
+        if inner is None:
+            return None
+        if expr.kind == "zext":
+            return inner
+        sign = 1 << (expr.operand.width - 1)
+        value = inner - ((inner & sign) << 1)
+        return value & ((1 << expr.width) - 1)
+    if isinstance(expr, N.ExtractBits):
+        inner = _static_expr_value(expr.operand, fields, pc, pc_width)
+        if inner is None:
+            return None
+        return (inner >> expr.lo) & ((1 << (expr.hi - expr.lo + 1)) - 1)
+    if isinstance(expr, N.BinOp) and expr.op in ("add", "sub", "or", "and",
+                                                 "xor", "shl"):
+        left = _static_expr_value(expr.left, fields, pc, pc_width)
+        right = _static_expr_value(expr.right, fields, pc, pc_width)
+        if left is None or right is None:
+            return None
+        width_mask = (1 << expr.width) - 1
+        if expr.op == "add":
+            return (left + right) & width_mask
+        if expr.op == "sub":
+            return (left - right) & width_mask
+        if expr.op == "or":
+            return left | right
+        if expr.op == "and":
+            return left & right
+        if expr.op == "xor":
+            return left ^ right
+        return (left << right) & width_mask if right < expr.width else 0
+    return None   # depends on runtime state
+
+
+def static_successors(model, decoded) -> List[Tuple[Optional[int], str]]:
+    """Possible control successors of one decoded instruction.
+
+    Returns ``(address, kind)`` pairs; ``address`` is ``None`` for
+    indirect targets.  Derived by walking the instruction's IR:
+    ``SetPc`` statements give explicit targets, ``Halt``/``Trap`` end
+    control, everything else falls through.
+    """
+    fields = decoded.fields
+    pc = decoded.address
+    successors: List[Tuple[Optional[int], str]] = []
+    saw_unconditional_setpc = False
+    saw_halt = False
+
+    def walk(stmts, conditional: bool) -> None:
+        nonlocal saw_unconditional_setpc, saw_halt
+        for stmt in stmts:
+            if isinstance(stmt, N.SetPc):
+                target = _static_expr_value(stmt.value, fields, pc,
+                                            model.pc_width)
+                kind = BRANCH if conditional else JUMP
+                if target is None:
+                    successors.append((None, INDIRECT))
+                else:
+                    successors.append((target & ((1 << model.pc_width) - 1),
+                                       kind))
+                if not conditional:
+                    saw_unconditional_setpc = True
+            elif isinstance(stmt, N.Halt):
+                if not conditional:
+                    saw_halt = True
+                successors.append((None, HALT))
+            elif isinstance(stmt, N.Trap):
+                if not conditional:
+                    saw_halt = True
+                successors.append((None, TRAP))
+            elif isinstance(stmt, N.IfStmt):
+                walk(stmt.then_body, True)
+                walk(stmt.else_body, True)
+
+    walk(decoded.instruction.semantics, False)
+    if not saw_unconditional_setpc and not saw_halt:
+        fall = (pc + decoded.length) & ((1 << model.pc_width) - 1)
+        successors.append((fall, FALL_THROUGH))
+    return successors
+
+
+def recover_cfg(model, image, entry: Optional[int] = None,
+                max_instructions: int = 100000) -> Cfg:
+    """Recursive-descent CFG recovery over an assembled image."""
+    entry = image.entry if entry is None else entry
+    cfg = Cfg(entry)
+    data = bytes(image.data)
+    base = image.base
+
+    def window(address: int) -> bytes:
+        offset = address - base
+        if offset < 0 or offset >= len(data):
+            return b""
+        return data[offset:offset + model.decoder.max_length]
+
+    # Pass 1: discover instruction addresses and raw successor sets.
+    successor_map: Dict[int, List[Tuple[Optional[int], str]]] = {}
+    worklist = [entry]
+    while worklist and len(successor_map) < max_instructions:
+        address = worklist.pop()
+        if address in successor_map:
+            continue
+        try:
+            decoded = model.decoder.decode_bytes(window(address), address)
+        except DecodeError:
+            continue
+        succs = static_successors(model, decoded)
+        successor_map[address] = succs
+        cfg.instruction_addresses.add(address)
+        for target, kind in succs:
+            if kind == INDIRECT:
+                cfg.has_indirect = True
+            if target is not None and target not in successor_map:
+                worklist.append(target)
+
+    # Pass 2: carve basic blocks. Leaders: entry, targets of any control
+    # transfer, and instructions following a control transfer.
+    leaders = {entry}
+    for address, succs in successor_map.items():
+        kinds = {kind for _t, kind in succs}
+        for target, kind in succs:
+            if kind in (BRANCH, JUMP) and target is not None:
+                leaders.add(target)
+        if kinds - {FALL_THROUGH}:
+            for target, kind in succs:
+                if kind == FALL_THROUGH and target is not None:
+                    leaders.add(target)
+
+    # Walk addresses in order, splitting at leaders and control transfers.
+    ordered = sorted(successor_map)
+    position = {address: i for i, address in enumerate(ordered)}
+    current: Optional[BasicBlock] = None
+    for index, address in enumerate(ordered):
+        if current is None or address in leaders:
+            if current is not None:
+                # A leader interrupts a straight line: synthesize the edge.
+                current.successors = [(address, FALL_THROUGH)]
+            current = BasicBlock(address)
+            cfg.blocks[address] = current
+        current.addresses.append(address)
+        succs = successor_map[address]
+        fall_target = None
+        for target, kind in succs:
+            if kind == FALL_THROUGH:
+                fall_target = target
+        transfers = any(kind != FALL_THROUGH for _t, kind in succs)
+        next_in_order = ordered[index + 1] if index + 1 < len(ordered) \
+            else None
+        continues = (not transfers and fall_target is not None
+                     and fall_target == next_in_order
+                     and fall_target not in leaders)
+        if not continues:
+            current.successors = succs
+            current = None
+    return cfg

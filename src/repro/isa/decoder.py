@@ -1,0 +1,108 @@
+"""Generated instruction decoder.
+
+Built from the ADL decode patterns: instructions are grouped by byte
+length, and within each group bucketed by their value under the group's
+*common fixed mask* (the bits every instruction in the group constrains —
+in practice the opcode bits).  Decoding reads candidate lengths shortest
+first; the analyzer's ambiguity check guarantees at most one instruction can
+match a given byte sequence, so the first hit is the answer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Decoder", "Decoded", "DecodeError"]
+
+
+class DecodeError(Exception):
+    """No instruction matches the bytes at the given address."""
+
+    def __init__(self, address: int, message: str = "invalid instruction"):
+        self.address = address
+        super().__init__("%s at %#x" % (message, address))
+
+
+class Decoded:
+    """One decoded instruction instance."""
+
+    __slots__ = ("instruction", "address", "word", "fields", "length")
+
+    def __init__(self, instruction, address: int, word: int,
+                 fields: Dict[str, int]):
+        self.instruction = instruction
+        self.address = address
+        self.word = word
+        self.fields = fields
+        self.length = instruction.length
+
+    def __repr__(self):
+        return "<Decoded %s @ %#x>" % (self.instruction.name, self.address)
+
+
+class _LengthGroup:
+    def __init__(self, length: int, instructions):
+        self.length = length
+        common = ~0
+        for instr in instructions:
+            common &= instr.pattern.mask
+        self.common_mask = common & ((1 << (8 * length)) - 1)
+        self.buckets: Dict[int, List] = {}
+        for instr in instructions:
+            key = instr.pattern.match & self.common_mask
+            self.buckets.setdefault(key, []).append(instr)
+
+    def lookup(self, word: int):
+        for instr in self.buckets.get(word & self.common_mask, ()):
+            if instr.pattern.matches(word):
+                return instr
+        return None
+
+
+class Decoder:
+    """Decodes instructions of an :class:`~repro.isa.model.ArchModel`."""
+
+    def __init__(self, model):
+        self._model = model
+        groups: Dict[int, List] = {}
+        for instr in model.instructions:
+            groups.setdefault(instr.length, []).append(instr)
+        self._groups: List[_LengthGroup] = [
+            _LengthGroup(length, groups[length])
+            for length in sorted(groups)]
+        # A per-address decode cache: instruction memory rarely changes.
+        self._cache: Dict[Tuple[int, bytes], Decoded] = {}
+
+    def decode_bytes(self, data: bytes, address: int) -> Decoded:
+        """Decode the instruction starting at ``data[0]``.
+
+        ``data`` must supply at least as many bytes as the longest
+        instruction, or as many as remain in the mapped region.
+        """
+        for group in self._groups:
+            if len(data) < group.length:
+                continue
+            window = bytes(data[:group.length])
+            cached = self._cache.get((address, window))
+            if cached is not None:
+                return cached
+            word = self._model.word_from_bytes(window)
+            instr = group.lookup(word)
+            if instr is not None:
+                fields = instr.bind(word)
+                for name, limit in instr.reg_field_limits.items():
+                    if fields[name] >= limit:
+                        raise DecodeError(
+                            address, "register index %d out of range in %s"
+                            % (fields[name], instr.name))
+                decoded = Decoded(instr, address, word, fields)
+                self._cache[(address, window)] = decoded
+                return decoded
+        raise DecodeError(address)
+
+    @property
+    def max_length(self) -> int:
+        return self._groups[-1].length if self._groups else 0
+
+    def cache_clear(self) -> None:
+        self._cache.clear()

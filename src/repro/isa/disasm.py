@@ -1,0 +1,41 @@
+"""Generated disassembler: formats decoded instructions via their syntax."""
+
+from __future__ import annotations
+
+import re
+
+from .decoder import Decoded
+
+__all__ = ["format_instruction"]
+
+_PLACEHOLDER_RE = re.compile(r"\{([A-Za-z_][A-Za-z_0-9]*)"
+                             r"(?::([A-Za-z_][A-Za-z_0-9]*))?\}")
+
+
+def _to_signed(value: int, width: int) -> int:
+    sign = 1 << (width - 1)
+    return (value & ((1 << width) - 1)) - ((value & sign) << 1)
+
+
+def format_instruction(model, decoded: Decoded) -> str:
+    """Render a decoded instruction as assembly text."""
+    instr = decoded.instruction
+    fields = decoded.fields
+
+    def substitute(found):
+        name, reg_kind = found.group(1), found.group(2)
+        value = fields[name]
+        if reg_kind is not None:
+            return model.regfiles[reg_kind].register_name(value)
+        operand = instr.operands.get(name)
+        if operand is not None:
+            if operand.pcrel:
+                target = (decoded.address + operand.pcrel_base
+                          + _to_signed(value, operand.width))
+                return "%#x" % (target & ((1 << model.pc_width) - 1))
+            if operand.signed:
+                return str(_to_signed(value, operand.width))
+            return str(value)
+        return str(value)
+
+    return _PLACEHOLDER_RE.sub(substitute, instr.syntax)

@@ -1,0 +1,24 @@
+"""Workload substrate: portable programs, the defect suite, and kernels."""
+
+from .kernels import (  # noqa: F401
+    KERNELS,
+    bsearch,
+    build_kernel,
+    checksum,
+    diamonds,
+    dispatcher,
+    maze,
+    password,
+)
+from .parser_demo import MAGIC, protocol_parser  # noqa: F401
+from .portable import TARGETS, PortableProgram, TargetInfo, lower  # noqa: F401
+from .suite import (  # noqa: F401
+    BUF_SIZE,
+    CODE_BASE,
+    DATA_BASE,
+    SCRATCH_BASE,
+    SuiteCase,
+    all_cases,
+    case_by_name,
+    run_case,
+)

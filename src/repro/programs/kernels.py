@@ -1,0 +1,233 @@
+"""Benchmark kernels: the workloads behind Tables 3-4 and Figures 1-2.
+
+All kernels are portable programs (they run on every ISA):
+
+* :func:`maze` — a binary decision tree over input bits with an
+  accumulator; 2**depth complete paths, exactly one reaching the trap.
+  The path-explosion workload for the strategy comparison (Figure 1).
+* :func:`password` — byte-by-byte comparison with early reject; the
+  classic crackme shape (quickstart example, throughput rows).
+* :func:`checksum` — a multiply-accumulate hash over n input bytes
+  compared against a magic value; the solver-heavy workload.
+* :func:`bsearch` — binary search over a sorted in-memory table keyed by
+  an input byte; branchy and load-heavy (throughput rows).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .portable import PortableProgram
+from .suite import CODE_BASE, DATA_BASE
+
+__all__ = ["maze", "password", "checksum", "bsearch", "dispatcher",
+           "KERNELS", "build_kernel"]
+
+
+def _start(program: PortableProgram) -> PortableProgram:
+    program.org(CODE_BASE)
+    program.entry("start")
+    program.label("start")
+    return program
+
+
+def maze(depth: int = 8, solution: int = 0b10110010) -> PortableProgram:
+    """Accumulate one input bit per step; trap iff the full path matches
+    ``solution`` (low ``depth`` bits, first input byte = MSB decision)."""
+    solution &= (1 << depth) - 1
+    p = _start(PortableProgram())
+    p.li("v1", 0)                        # accumulator
+    p.li("v3", 1)
+    for step in range(depth):
+        p.read_input("v0")
+        p.alu("and", "v0", "v0", "v3")   # keep bit 0
+        p.alu("add", "v1", "v1", "v1")   # acc <<= 1
+        p.alu("add", "v1", "v1", "v0")   # acc |= bit
+        # A branch whose target is the fall-through: both outcomes
+        # survive as distinct states, so the path tree is complete.
+        p.li("v4", 0)
+        p.branch("eq", "v0", "v4", "skip%d" % step)
+        p.label("skip%d" % step)
+    p.li("v2", solution)
+    p.branch("ne", "v1", "v2", "out")
+    p.trap(7)
+    p.label("out")
+    p.halt(0)
+    return p
+
+
+def password(secret: bytes = b"adl!") -> PortableProgram:
+    """Byte-by-byte comparison with early exit; trap on a full match."""
+    p = _start(PortableProgram())
+    for byte in secret:
+        p.read_input("v0")
+        p.li("v1", byte)
+        p.branch("ne", "v0", "v1", "fail")
+    p.trap(9)
+    p.label("fail")
+    p.halt(0)
+    return p
+
+
+def checksum(length: int = 4, magic: int = 0x1d0d,
+             multiplier: int = 31) -> PortableProgram:
+    """acc = acc*mult + byte over ``length`` input bytes; trap when the
+    result equals ``magic`` (16-bit masked so it fits every word size)."""
+    p = _start(PortableProgram())
+    p.li("v1", 0)                        # acc
+    p.li("v2", multiplier)
+    p.li("v4", 0xffff)
+    for _ in range(length):
+        p.read_input("v0")
+        p.alu("mul", "v1", "v1", "v2")
+        p.alu("add", "v1", "v1", "v0")
+        p.alu("and", "v1", "v1", "v4")
+    p.li("v3", magic & 0xffff)
+    p.branch("ne", "v1", "v3", "no")
+    p.trap(3)
+    p.label("no")
+    p.halt(0)
+    return p
+
+
+def bsearch(table: Optional[List[int]] = None,
+            needle_slot: int = 13) -> PortableProgram:
+    """Binary-search a sorted 16-entry byte table for the input byte; trap
+    iff the needle is found in ``needle_slot``."""
+    if table is None:
+        table = [3, 9, 17, 22, 31, 40, 52, 61, 77, 85, 99, 120, 150, 181,
+                 200, 240]
+    if len(table) != 16 or sorted(table) != list(table):
+        raise ValueError("table must be 16 sorted byte values")
+    p = _start(PortableProgram())
+    p.read_input("v0")                   # needle
+    p.li("v1", 0)                        # lo
+    p.li("v2", 16)                       # hi (exclusive)
+    p.label("loop")
+    p.branch("geu", "v1", "v2", "miss")
+    # mid = (lo + hi) / 2
+    p.alu("add", "v3", "v1", "v2")
+    p.li("v4", 1)
+    p.alu("shr", "v3", "v3", "v4")
+    # load table[mid]
+    p.li("v4", DATA_BASE)
+    p.alu("add", "v4", "v4", "v3")
+    p.loadb("v5", "v4", 0)
+    p.branch("eq", "v5", "v0", "found")
+    p.branch("ltu", "v5", "v0", "go_right")
+    p.mov("v2", "v3")                    # hi = mid
+    p.jump("loop")
+    p.label("go_right")
+    p.addi("v1", "v3", 1)                # lo = mid + 1
+    p.jump("loop")
+    p.label("found")
+    p.li("v4", needle_slot)
+    p.branch("ne", "v3", "v4", "miss")
+    p.trap(5)
+    p.label("miss")
+    p.halt(0)
+    p.org(DATA_BASE)
+    p.label("table")
+    p.byte_data(table)
+    return p
+
+
+def dispatcher(rounds: int = 3, magic: int = 0x77) -> PortableProgram:
+    """A command loop dispatching over four handlers per input byte.
+
+    Re-entrant code (the loop revisits the dispatch block every round)
+    with a trap hidden in one handler behind a magic byte — the workload
+    where coverage-guided search differs from DFS (extension Figure 4).
+    """
+    p = _start(PortableProgram())
+    p.li("v2", 0)                         # acc
+    p.li("v4", 0)                         # round counter
+    p.label("loop")
+    p.li("v5", rounds)
+    p.branch("geu", "v4", "v5", "done")
+    p.read_input("v0")
+    p.li("v3", 3)
+    p.alu("and", "v1", "v0", "v3")        # handler index 0..3
+    p.li("v3", 0)
+    p.branch("eq", "v1", "v3", "h0")
+    p.li("v3", 1)
+    p.branch("eq", "v1", "v3", "h1")
+    p.li("v3", 2)
+    p.branch("eq", "v1", "v3", "h2")
+    p.jump("h3")
+    p.label("h0")                         # acc += 1
+    p.li("v3", 1)
+    p.alu("add", "v2", "v2", "v3")
+    p.jump("join")
+    p.label("h1")                         # acc ^= 0x5a
+    p.li("v3", 0x5A)
+    p.alu("xor", "v2", "v2", "v3")
+    p.jump("join")
+    p.label("h2")                         # acc <<= 1
+    p.li("v3", 1)
+    p.alu("shl", "v2", "v2", "v3")
+    p.jump("join")
+    p.label("h3")                         # guarded trap
+    p.read_input("v1")
+    p.li("v3", magic)
+    p.branch("ne", "v1", "v3", "join")
+    p.trap(11)
+    p.label("join")
+    p.addi("v4", "v4", 1)
+    p.jump("loop")
+    p.label("done")
+    p.write_output("v2")
+    p.halt(0)
+    return p
+
+
+def diamonds(count: int = 8) -> PortableProgram:
+    """``count`` independent branch diamonds feeding one accumulator.
+
+    Each diamond reads an input byte and adds 1 or 2 depending on its low
+    bit; the trap requires every diamond to have taken the "+2" arm.
+    2**count paths without state merging, ``count + 1`` with it — the
+    Table 6 workload.
+    """
+    p = _start(PortableProgram())
+    p.li("v2", 0)                         # accumulator
+    p.li("v4", 1)
+    for step in range(count):
+        p.read_input("v0")
+        p.alu("and", "v0", "v0", "v4")    # low bit
+        p.li("v3", 0)
+        p.branch("eq", "v0", "v3", "one%d" % step)
+        p.addi("v2", "v2", 2)
+        p.jump("join%d" % step)
+        p.label("one%d" % step)
+        p.addi("v2", "v2", 1)
+        p.label("join%d" % step)
+    p.li("v3", 2 * count)                 # all "+2" arms
+    p.branch("ne", "v2", "v3", "out")
+    p.trap(4)
+    p.label("out")
+    p.halt(0)
+    return p
+
+
+KERNELS = {
+    "maze": maze,
+    "password": password,
+    "checksum": checksum,
+    "bsearch": bsearch,
+    "dispatcher": dispatcher,
+    "diamonds": diamonds,
+}
+
+
+def build_kernel(name: str, target: str, **params) -> Tuple[object, object]:
+    """Lower and assemble a kernel; returns ``(model, image)``."""
+    from ..isa import assemble, build
+    from .portable import lower
+    if name not in KERNELS:
+        raise KeyError("unknown kernel %r (have: %s)"
+                       % (name, ", ".join(sorted(KERNELS))))
+    program = KERNELS[name](**params)
+    model = build(target)
+    image = assemble(model, lower(program, target), base=CODE_BASE)
+    return model, image

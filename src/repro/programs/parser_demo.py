@@ -1,0 +1,154 @@
+"""A realistic multi-stage workload: a little packet-protocol parser.
+
+The closest thing in this repository to "symbolically execute a real
+program": a parser with header validation, type dispatch, a
+variable-length payload loop, a checksum gate, and two planted bugs that
+are only reachable through the *whole* chain of conditions:
+
+Packet format (read byte-by-byte from input)::
+
+    [0] magic     must be 0x7e
+    [1] type      0 = echo, 1 = store, 2 = sum
+    [2] length    payload byte count
+    [3..3+L-1]    payload
+    [3+L]         checksum: xor of all payload bytes
+
+* ``store`` copies the payload into a 16-byte buffer.  The *bad* variant
+  bounds-checks ``length < 32`` instead of ``<= 16``: an overflow that
+  requires valid magic, type 1, length in 17..31 **and** a matching
+  checksum — the engine must chain four stages of constraints.
+* ``sum`` outputs 100 / (sum of payload bytes).  The bad variant divides
+  unguarded: a division-by-zero behind the same gates (all-zero payload,
+  checksum 0).
+
+The good variant fixes both (proper bound; zero-sum guard) and must
+produce no findings.
+
+Virtual register budget (6): v0 scratch/current byte, v1 running
+checksum, v2 length, v3 loop index, v4 address/temp, v5 constant/temp.
+"""
+
+from __future__ import annotations
+
+from .portable import PortableProgram
+from .suite import CODE_BASE, DATA_BASE
+
+__all__ = ["protocol_parser", "MAGIC", "BUFFER_SIZE", "VICTIM_BASE"]
+
+MAGIC = 0x7E
+BUFFER_SIZE = 16
+BAD_BOUND = 32
+# Staging area (32 bytes) precedes the victim buffer, which sits at the
+# end of the image so overflowing it leaves mapped memory.
+VICTIM_BASE = 0x1400 + 32   # == DATA_BASE + staging size
+
+
+def protocol_parser(bad: bool = True) -> PortableProgram:
+    """Build the parser as a portable program (bad or fixed variant)."""
+    p = PortableProgram()
+    p.org(CODE_BASE)
+    p.entry("start")
+    p.label("start")
+
+    # --- header ---------------------------------------------------------
+    p.read_input("v0")                       # magic
+    p.li("v5", MAGIC)
+    p.branch("ne", "v0", "v5", "reject")
+    p.read_input("v4")                       # type (kept in v4)
+    p.read_input("v2")                       # length (5-bit field)
+    p.li("v5", 31)
+    p.alu("and", "v2", "v2", "v5")
+
+    # --- payload loop: store into buf, accumulate xor checksum ----------
+    p.li("v1", 0)                            # checksum accumulator
+    p.li("v3", 0)                            # index
+    p.label("payload_loop")
+    p.branch("geu", "v3", "v2", "payload_done")
+    p.read_input("v0")
+    p.alu("xor", "v1", "v1", "v0")
+    # Staging area for the raw packet payload (32 bytes: fits even the
+    # bad variant's overlong packets; the *victim* buffer is separate).
+    p.li("v5", DATA_BASE)
+    p.alu("add", "v5", "v5", "v3")
+    p.storeb("v0", "v5", 0)
+    p.addi("v3", "v3", 1)
+    p.jump("payload_loop")
+    p.label("payload_done")
+
+    # --- checksum gate ----------------------------------------------------
+    p.read_input("v0")                       # expected checksum
+    p.branch("ne", "v0", "v1", "reject")
+
+    # --- dispatch on type -------------------------------------------------
+    p.li("v5", 0)
+    p.branch("eq", "v4", "v5", "do_echo")
+    p.li("v5", 1)
+    p.branch("eq", "v4", "v5", "do_store")
+    p.li("v5", 2)
+    p.branch("eq", "v4", "v5", "do_sum")
+    p.jump("reject")
+
+    # --- echo: write the staged payload back out ---------------------------
+    p.label("do_echo")
+    p.li("v3", 0)
+    p.label("echo_loop")
+    p.branch("geu", "v3", "v2", "accept")
+    p.li("v5", DATA_BASE)
+    p.alu("add", "v5", "v5", "v3")
+    p.loadb("v0", "v5", 0)
+    p.write_output("v0")
+    p.addi("v3", "v3", 1)
+    p.jump("echo_loop")
+
+    # --- store: copy staged payload into the 16-byte victim buffer ---------
+    p.label("do_store")
+    bound = BAD_BOUND if bad else BUFFER_SIZE + 1
+    p.li("v5", bound)
+    p.branch("geu", "v2", "v5", "reject")    # length bound (wrong if bad)
+    p.li("v3", 0)
+    p.label("store_loop")
+    p.branch("geu", "v3", "v2", "accept")
+    p.li("v5", DATA_BASE)
+    p.alu("add", "v5", "v5", "v3")
+    p.loadb("v0", "v5", 0)
+    p.li("v5", VICTIM_BASE)
+    p.alu("add", "v5", "v5", "v3")
+    p.storeb("v0", "v5", 0)                  # buf[i] = payload[i]
+    p.addi("v3", "v3", 1)
+    p.jump("store_loop")
+
+    # --- sum: 100 / sum(payload) --------------------------------------------
+    p.label("do_sum")
+    p.li("v1", 0)                            # reuse as byte sum
+    p.li("v3", 0)
+    p.label("sum_loop")
+    p.branch("geu", "v3", "v2", "sum_done")
+    p.li("v5", DATA_BASE)
+    p.alu("add", "v5", "v5", "v3")
+    p.loadb("v0", "v5", 0)
+    p.alu("add", "v1", "v1", "v0")
+    p.addi("v3", "v3", 1)
+    p.jump("sum_loop")
+    p.label("sum_done")
+    if not bad:
+        p.li("v5", 0)
+        p.branch("eq", "v1", "v5", "reject")  # good: guard the division
+    p.li("v0", 100)
+    p.alu("divu", "v0", "v0", "v1")
+    p.write_output("v0")
+    p.jump("accept")
+
+    p.label("accept")
+    p.halt(0)
+    p.label("reject")
+    p.halt(1)
+
+    # --- data layout ----------------------------------------------------------
+    # Staging area (32 bytes), then the victim buffer at the END of the
+    # image so overflowing it leaves mapped memory.
+    p.org(DATA_BASE)
+    p.label("staging")
+    p.space(32)
+    p.label("victim")
+    p.space(BUFFER_SIZE)
+    return p

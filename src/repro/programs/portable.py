@@ -1,0 +1,636 @@
+"""Portable machine-code workloads.
+
+The evaluation needs the *same* program on every ISA (detection matrix,
+cross-ISA replay).  :class:`PortableProgram` is a tiny ISA-independent
+assembly builder — virtual registers ``v0..v5``, three-address ALU ops,
+compare-and-branch — with one small lowering backend per ISA.  The backends
+are the only per-ISA workload code; the symbolic engine itself stays fully
+generated.
+
+Lowering notes per target:
+
+* ``rv32``  — direct; large constants via ``lui``/``addi`` with the
+  standard +0x800 high-part adjustment.
+* ``mips32`` — direct; constants via ``lui``/``ori``; ``mul``/``divu``
+  through hi/lo; branches on flags-free compare-and-branch.
+* ``armlite`` — compare-and-branch pairs lower to ``cmp`` + conditional
+  branch (the flags-based path); ``remu`` is computed as
+  ``a - (a / b) * b``; constants via ``movi``/``movt``.
+* ``vlx`` — two-address ALU, so three-address ops lower through moves; the
+  16-bit word size is why portable programs must keep constants under
+  2**16.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["PortableProgram", "TARGETS", "lower", "TargetInfo"]
+
+
+class TargetInfo:
+    """Per-ISA facts the builder and the suite need."""
+
+    def __init__(self, name: str, wordsize: int, word_bytes: int,
+                 num_virtual_regs: int):
+        self.name = name
+        self.wordsize = wordsize
+        self.word_bytes = word_bytes
+        self.num_virtual_regs = num_virtual_regs
+
+
+TARGETS: Dict[str, TargetInfo] = {
+    "rv32": TargetInfo("rv32", 32, 4, 6),
+    "mips32": TargetInfo("mips32", 32, 4, 6),
+    "armlite": TargetInfo("armlite", 32, 4, 6),
+    "vlx": TargetInfo("vlx", 16, 2, 6),
+    "pred32": TargetInfo("pred32", 32, 4, 6),
+}
+
+
+class PortableProgram:
+    """An ISA-independent program: a list of portable ops.
+
+    Virtual registers are the strings ``"v0"`` .. ``"v5"``.  Branch/ALU ops
+    mirror a generic RISC; each op becomes one or a few target instructions.
+    """
+
+    def __init__(self):
+        self.ops: List[Tuple] = []
+
+    # -- structure ---------------------------------------------------------------
+
+    def label(self, name: str) -> "PortableProgram":
+        self.ops.append(("label", name))
+        return self
+
+    def org(self, address: int) -> "PortableProgram":
+        self.ops.append(("org", address))
+        return self
+
+    def entry(self, name: str) -> "PortableProgram":
+        self.ops.append(("entry", name))
+        return self
+
+    # -- data -----------------------------------------------------------------------
+
+    def byte_data(self, values: Sequence[int]) -> "PortableProgram":
+        self.ops.append(("byte", tuple(values)))
+        return self
+
+    def space(self, amount: int) -> "PortableProgram":
+        self.ops.append(("space", amount))
+        return self
+
+    # -- computation -------------------------------------------------------------------
+
+    def li(self, rd: str, value: int) -> "PortableProgram":
+        self.ops.append(("li", rd, value))
+        return self
+
+    def mov(self, rd: str, rs: str) -> "PortableProgram":
+        self.ops.append(("mov", rd, rs))
+        return self
+
+    def alu(self, op: str, rd: str, ra: str, rb: str) -> "PortableProgram":
+        """op in add/sub/and/or/xor/mul/divu/remu/shl/shr/sra."""
+        self.ops.append(("alu", op, rd, ra, rb))
+        return self
+
+    def addi(self, rd: str, rs: str, imm: int) -> "PortableProgram":
+        self.ops.append(("addi", rd, rs, imm))
+        return self
+
+    # -- memory (byte offsets; 'w' is one architecture word) ------------------------------
+
+    def loadb(self, rd: str, base: str, offset: int = 0) -> "PortableProgram":
+        self.ops.append(("loadb", rd, base, offset))
+        return self
+
+    def storeb(self, rs: str, base: str, offset: int = 0) -> "PortableProgram":
+        self.ops.append(("storeb", rs, base, offset))
+        return self
+
+    def loadw(self, rd: str, base: str, offset: int = 0) -> "PortableProgram":
+        self.ops.append(("loadw", rd, base, offset))
+        return self
+
+    def storew(self, rs: str, base: str, offset: int = 0) -> "PortableProgram":
+        self.ops.append(("storew", rs, base, offset))
+        return self
+
+    # -- control flow -----------------------------------------------------------------------
+
+    def branch(self, cond: str, ra: str, rb: str,
+               target: str) -> "PortableProgram":
+        """cond in eq/ne/ltu/geu/lt/ge."""
+        self.ops.append(("branch", cond, ra, rb, target))
+        return self
+
+    def jump(self, target: str) -> "PortableProgram":
+        self.ops.append(("jump", target))
+        return self
+
+    def jump_reg(self, rs: str) -> "PortableProgram":
+        """Indirect jump through a register (computed goto)."""
+        self.ops.append(("jumpr", rs))
+        return self
+
+    # -- environment ---------------------------------------------------------------------------
+
+    def read_input(self, rd: str) -> "PortableProgram":
+        self.ops.append(("in", rd))
+        return self
+
+    def write_output(self, rs: str) -> "PortableProgram":
+        self.ops.append(("out", rs))
+        return self
+
+    def halt(self, code: int = 0) -> "PortableProgram":
+        self.ops.append(("halt", code))
+        return self
+
+    def trap(self, code: int = 1) -> "PortableProgram":
+        self.ops.append(("trap", code))
+        return self
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+class _Backend:
+    """Lowers portable ops to target assembly lines."""
+
+    name = "abstract"
+    regs: Sequence[str] = ()
+    scratch: Sequence[str] = ()   # extra regs the backend may clobber
+    word_bytes = 4
+
+    def __init__(self):
+        self.lines: List[str] = []
+        self._tmp_labels = 0
+
+    def reg(self, virtual: str) -> str:
+        index = int(virtual[1:])
+        if index >= len(self.regs):
+            raise ValueError("backend %s has only %d virtual registers"
+                             % (self.name, len(self.regs)))
+        return self.regs[index]
+
+    def fresh_label(self) -> str:
+        self._tmp_labels += 1
+        return "_ll%d" % self._tmp_labels
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " + line)
+
+    def emit_label(self, name: str) -> None:
+        self.lines.append(name + ":")
+
+    def lower(self, program: PortableProgram) -> str:
+        for op in program.ops:
+            kind = op[0]
+            handler = getattr(self, "op_" + kind)
+            handler(*op[1:])
+        return "\n".join(self.lines) + "\n"
+
+    # -- shared structural ops ----------------------------------------------------
+
+    def op_label(self, name):
+        self.emit_label(name)
+
+    def op_org(self, address):
+        self.lines.append(".org %#x" % address)
+
+    def op_entry(self, name):
+        self.lines.append(".entry %s" % name)
+
+    def op_byte(self, values):
+        self.lines.append(".byte " + ", ".join(str(v) for v in values))
+
+    def op_space(self, amount):
+        self.lines.append(".space %d" % amount)
+
+
+class _Rv32Backend(_Backend):
+    name = "rv32"
+    regs = ("x10", "x11", "x12", "x13", "x14", "x15")
+    scratch = ("x28", "x29")
+    word_bytes = 4
+
+    def op_li(self, rd, value):
+        rd = self.reg(rd)
+        value &= 0xffffffff
+        low = value & 0xfff
+        if low >= 0x800:
+            low -= 0x1000
+        high = ((value - low) >> 12) & 0xfffff
+        if high:
+            self.emit("lui %s, %d" % (rd, high))
+            if low:
+                self.emit("addi %s, %s, %d" % (rd, rd, low))
+        else:
+            self.emit("addi %s, x0, %d" % (rd, low))
+
+    def op_mov(self, rd, rs):
+        self.emit("addi %s, %s, 0" % (self.reg(rd), self.reg(rs)))
+
+    def op_alu(self, op, rd, ra, rb):
+        mnemonic = {"add": "add", "sub": "sub", "and": "and", "or": "or",
+                    "xor": "xor", "mul": "mul", "divu": "divu",
+                    "remu": "remu", "shl": "sll", "shr": "srl",
+                    "sra": "sra"}[op]
+        self.emit("%s %s, %s, %s" % (mnemonic, self.reg(rd), self.reg(ra),
+                                     self.reg(rb)))
+
+    def op_addi(self, rd, rs, imm):
+        self.emit("addi %s, %s, %d" % (self.reg(rd), self.reg(rs), imm))
+
+    def op_loadb(self, rd, base, offset):
+        self.emit("lbu %s, %d(%s)" % (self.reg(rd), offset, self.reg(base)))
+
+    def op_storeb(self, rs, base, offset):
+        self.emit("sb %s, %d(%s)" % (self.reg(rs), offset, self.reg(base)))
+
+    def op_loadw(self, rd, base, offset):
+        self.emit("lw %s, %d(%s)" % (self.reg(rd), offset, self.reg(base)))
+
+    def op_storew(self, rs, base, offset):
+        self.emit("sw %s, %d(%s)" % (self.reg(rs), offset, self.reg(base)))
+
+    def op_branch(self, cond, ra, rb, target):
+        mnemonic = {"eq": "beq", "ne": "bne", "ltu": "bltu", "geu": "bgeu",
+                    "lt": "blt", "ge": "bge"}[cond]
+        self.emit("%s %s, %s, %s" % (mnemonic, self.reg(ra), self.reg(rb),
+                                     target))
+
+    def op_jump(self, target):
+        self.emit("jal x0, %s" % target)
+
+    def op_jumpr(self, rs):
+        self.emit("jalr x0, 0(%s)" % self.reg(rs))
+
+    def op_in(self, rd):
+        self.emit("inb %s" % self.reg(rd))
+
+    def op_out(self, rs):
+        self.emit("outb %s" % self.reg(rs))
+
+    def op_halt(self, code):
+        self.emit("halt %d" % code)
+
+    def op_trap(self, code):
+        self.emit("trap %d" % code)
+
+
+class _Mips32Backend(_Backend):
+    name = "mips32"
+    regs = ("r8", "r9", "r10", "r11", "r12", "r13")
+    scratch = ("r24", "r25")
+    word_bytes = 4
+
+    def op_li(self, rd, value):
+        rd = self.reg(rd)
+        value &= 0xffffffff
+        high, low = value >> 16, value & 0xffff
+        if high:
+            self.emit("lui %s, %d" % (rd, high))
+            if low:
+                self.emit("ori %s, %s, %d" % (rd, rd, low))
+        else:
+            self.emit("ori %s, r0, %d" % (rd, low))
+
+    def op_mov(self, rd, rs):
+        self.emit("addiu %s, %s, 0" % (self.reg(rd), self.reg(rs)))
+
+    def op_alu(self, op, rd, ra, rb):
+        rd, ra, rb = self.reg(rd), self.reg(ra), self.reg(rb)
+        if op == "mul":
+            self.emit("multu %s, %s" % (ra, rb))
+            self.emit("mflo %s" % rd)
+        elif op == "divu":
+            self.emit("divu %s, %s" % (ra, rb))
+            self.emit("mflo %s" % rd)
+        elif op == "remu":
+            self.emit("divu %s, %s" % (ra, rb))
+            self.emit("mfhi %s" % rd)
+        elif op in ("shl", "shr", "sra"):
+            mnemonic = {"shl": "sllv", "shr": "srlv", "sra": "srav"}[op]
+            self.emit("%s %s, %s, %s" % (mnemonic, rd, ra, rb))
+        else:
+            mnemonic = {"add": "addu", "sub": "subu", "and": "and",
+                        "or": "or", "xor": "xor"}[op]
+            self.emit("%s %s, %s, %s" % (mnemonic, rd, ra, rb))
+
+    def op_addi(self, rd, rs, imm):
+        self.emit("addiu %s, %s, %d" % (self.reg(rd), self.reg(rs), imm))
+
+    def op_loadb(self, rd, base, offset):
+        self.emit("lbu %s, %d(%s)" % (self.reg(rd), offset, self.reg(base)))
+
+    def op_storeb(self, rs, base, offset):
+        self.emit("sb %s, %d(%s)" % (self.reg(rs), offset, self.reg(base)))
+
+    def op_loadw(self, rd, base, offset):
+        self.emit("lw %s, %d(%s)" % (self.reg(rd), offset, self.reg(base)))
+
+    def op_storew(self, rs, base, offset):
+        self.emit("sw %s, %d(%s)" % (self.reg(rs), offset, self.reg(base)))
+
+    def op_branch(self, cond, ra, rb, target):
+        ra, rb = self.reg(ra), self.reg(rb)
+        if cond == "eq":
+            self.emit("beq %s, %s, %s" % (ra, rb, target))
+        elif cond == "ne":
+            self.emit("bne %s, %s, %s" % (ra, rb, target))
+        else:
+            # Lower through slt/sltu into a scratch register.
+            scratch = self.scratch[0]
+            if cond in ("ltu", "geu"):
+                self.emit("sltu %s, %s, %s" % (scratch, ra, rb))
+            else:
+                self.emit("slt %s, %s, %s" % (scratch, ra, rb))
+            if cond in ("ltu", "lt"):
+                self.emit("bne %s, r0, %s" % (scratch, target))
+            else:
+                self.emit("beq %s, r0, %s" % (scratch, target))
+
+    def op_jump(self, target):
+        self.emit("j %s" % target)
+
+    def op_jumpr(self, rs):
+        self.emit("jr %s" % self.reg(rs))
+
+    def op_in(self, rd):
+        self.emit("inb %s" % self.reg(rd))
+
+    def op_out(self, rs):
+        self.emit("outb %s" % self.reg(rs))
+
+    def op_halt(self, code):
+        self.emit("halt %d" % code)
+
+    def op_trap(self, code):
+        self.emit("trap %d" % code)
+
+
+class _ArmliteBackend(_Backend):
+    name = "armlite"
+    regs = ("r0", "r1", "r2", "r3", "r4", "r5")
+    scratch = ("r8", "r9")
+    word_bytes = 4
+
+    def op_li(self, rd, value):
+        rd = self.reg(rd)
+        value &= 0xffffffff
+        self.emit("movi %s, %d" % (rd, value & 0xffff))
+        if value >> 16:
+            self.emit("movt %s, %d" % (rd, value >> 16))
+
+    def op_mov(self, rd, rs):
+        self.emit("mov %s, %s" % (self.reg(rd), self.reg(rs)))
+
+    def op_alu(self, op, rd, ra, rb):
+        rd, ra, rb = self.reg(rd), self.reg(ra), self.reg(rb)
+        if op == "remu":
+            # a % b == a - (a / b) * b  (udiv defines x/0 == 0, making
+            # remu by zero come out as the dividend, matching rv32 remu).
+            scratch = self.scratch[0]
+            self.emit("udiv %s, %s, %s" % (scratch, ra, rb))
+            self.emit("mul %s, %s, %s" % (scratch, scratch, rb))
+            self.emit("sub %s, %s, %s" % (rd, ra, scratch))
+            return
+        mnemonic = {"add": "add", "sub": "sub", "and": "and", "or": "orr",
+                    "xor": "eor", "mul": "mul", "divu": "udiv",
+                    "shl": "lsl", "shr": "lsr", "sra": "asr"}[op]
+        self.emit("%s %s, %s, %s" % (mnemonic, rd, ra, rb))
+
+    def op_addi(self, rd, rs, imm):
+        if imm >= 0:
+            self.emit("addi %s, %s, %d" % (self.reg(rd), self.reg(rs), imm))
+        else:
+            self.emit("subi %s, %s, %d" % (self.reg(rd), self.reg(rs), -imm))
+
+    def op_loadb(self, rd, base, offset):
+        self.emit("ldrb %s, [%s, %d]" % (self.reg(rd), self.reg(base),
+                                         offset))
+
+    def op_storeb(self, rs, base, offset):
+        self.emit("strb %s, [%s, %d]" % (self.reg(rs), self.reg(base),
+                                         offset))
+
+    def op_loadw(self, rd, base, offset):
+        self.emit("ldr %s, [%s, %d]" % (self.reg(rd), self.reg(base),
+                                        offset))
+
+    def op_storew(self, rs, base, offset):
+        self.emit("str %s, [%s, %d]" % (self.reg(rs), self.reg(base),
+                                        offset))
+
+    def op_branch(self, cond, ra, rb, target):
+        # The flags-based lowering: compare, then a conditional branch.
+        self.emit("cmp %s, %s" % (self.reg(ra), self.reg(rb)))
+        mnemonic = {"eq": "beq", "ne": "bne", "ltu": "bcc", "geu": "bcs",
+                    "lt": "blt", "ge": "bge"}[cond]
+        self.emit("%s %s" % (mnemonic, target))
+
+    def op_jump(self, target):
+        self.emit("b %s" % target)
+
+    def op_jumpr(self, rs):
+        self.emit("bx %s" % self.reg(rs))
+
+    def op_in(self, rd):
+        self.emit("inb %s" % self.reg(rd))
+
+    def op_out(self, rs):
+        self.emit("outb %s" % self.reg(rs))
+
+    def op_halt(self, code):
+        self.emit("halt %d" % code)
+
+    def op_trap(self, code):
+        self.emit("trap %d" % code)
+
+
+class _VlxBackend(_Backend):
+    name = "vlx"
+    regs = ("r0", "r1", "r2", "r3", "r4", "r5")
+    scratch = ("r6",)
+    word_bytes = 2
+
+    def op_li(self, rd, value):
+        if not (-(1 << 15) <= value < (1 << 16)):
+            raise ValueError("constant %#x exceeds the vlx 16-bit word"
+                             % value)
+        self.emit("ldi %s, %d" % (self.reg(rd), value & 0xffff))
+
+    def op_mov(self, rd, rs):
+        self.emit("mov %s, %s" % (self.reg(rd), self.reg(rs)))
+
+    def op_alu(self, op, rd, ra, rb):
+        rd_r, ra_r, rb_r = self.reg(rd), self.reg(ra), self.reg(rb)
+        mnemonic = {"add": "add", "sub": "sub", "and": "and", "or": "or",
+                    "xor": "xor", "mul": "mul", "divu": "divu",
+                    "remu": "remu", "shl": "shl", "shr": "shr",
+                    "sra": "sra"}[op]
+        if rd_r == ra_r:
+            self.emit("%s %s, %s" % (mnemonic, rd_r, rb_r))
+        elif rd_r == rb_r:
+            # Two-address form destroys rd; stage through scratch.
+            scratch = self.scratch[0]
+            self.emit("mov %s, %s" % (scratch, ra_r))
+            self.emit("%s %s, %s" % (mnemonic, scratch, rb_r))
+            self.emit("mov %s, %s" % (rd_r, scratch))
+        else:
+            self.emit("mov %s, %s" % (rd_r, ra_r))
+            self.emit("%s %s, %s" % (mnemonic, rd_r, rb_r))
+
+    def op_addi(self, rd, rs, imm):
+        if not (-128 <= imm <= 127):
+            raise ValueError("vlx addi immediate %d out of range" % imm)
+        if rd != rs:
+            self.emit("mov %s, %s" % (self.reg(rd), self.reg(rs)))
+        self.emit("addi %s, %d" % (self.reg(rd), imm))
+
+    def op_loadb(self, rd, base, offset):
+        self.emit("ldb %s, [%s + %d]" % (self.reg(rd), self.reg(base),
+                                         offset))
+
+    def op_storeb(self, rs, base, offset):
+        self.emit("stb %s, [%s + %d]" % (self.reg(rs), self.reg(base),
+                                         offset))
+
+    def op_loadw(self, rd, base, offset):
+        self.emit("ld %s, [%s + %d]" % (self.reg(rd), self.reg(base),
+                                        offset))
+
+    def op_storew(self, rs, base, offset):
+        self.emit("st %s, [%s + %d]" % (self.reg(rs), self.reg(base),
+                                        offset))
+
+    def op_branch(self, cond, ra, rb, target):
+        # vlx branch offsets are only 8 bits; lower as an inverted branch
+        # over an absolute jump so portable programs have no range limits.
+        inverse = {"eq": "bne", "ne": "beq", "ltu": "bgeu", "geu": "bltu",
+                   "lt": "bge", "ge": "blt"}[cond]
+        skip = self.fresh_label()
+        self.emit("%s %s, %s, %s" % (inverse, self.reg(ra), self.reg(rb),
+                                     skip))
+        self.emit("jmp %s" % target)
+        self.emit_label(skip)
+
+    def op_jump(self, target):
+        self.emit("jmp %s" % target)
+
+    def op_jumpr(self, rs):
+        self.emit("jr %s" % self.reg(rs))
+
+    def op_in(self, rd):
+        self.emit("inb %s" % self.reg(rd))
+
+    def op_out(self, rs):
+        self.emit("outb %s" % self.reg(rs))
+
+    def op_halt(self, code):
+        self.emit("hlt %d" % code)
+
+    def op_trap(self, code):
+        self.emit("trap %d" % code)
+
+
+class _Pred32Backend(_Backend):
+    """The predicated-execution lowering: compare-and-branch pairs become
+    ``cmp`` + a predicated ``b``; everything else runs with predicate 0
+    (always)."""
+
+    name = "pred32"
+    regs = ("r0", "r1", "r2", "r3", "r4", "r5")
+    scratch = ("r8", "r9")
+    word_bytes = 4
+
+    _PREDICATES = {"eq": 1, "ne": 2, "lt": 3, "ge": 4, "ltu": 5, "geu": 6}
+
+    def op_li(self, rd, value):
+        rd = self.reg(rd)
+        value &= 0xffffffff
+        self.emit("movi 0, %s, %d" % (rd, value & 0x3fff))
+        if (value >> 14) & 0x3fff:
+            self.emit("mov14 0, %s, %d" % (rd, (value >> 14) & 0x3fff))
+        if value >> 28:
+            self.emit("mov28 0, %s, %d" % (rd, value >> 28))
+
+    def op_mov(self, rd, rs):
+        self.emit("mov 0, %s, %s" % (self.reg(rd), self.reg(rs)))
+
+    def op_alu(self, op, rd, ra, rb):
+        rd, ra, rb = self.reg(rd), self.reg(ra), self.reg(rb)
+        if op == "remu":
+            scratch = self.scratch[0]
+            self.emit("divu 0, %s, %s, %s" % (scratch, ra, rb))
+            self.emit("mul 0, %s, %s, %s" % (scratch, scratch, rb))
+            self.emit("sub 0, %s, %s, %s" % (rd, ra, scratch))
+            return
+        mnemonic = {"add": "add", "sub": "sub", "and": "and", "or": "or",
+                    "xor": "xor", "mul": "mul", "divu": "divu",
+                    "shl": "shl", "shr": "shr", "sra": "sar"}[op]
+        self.emit("%s 0, %s, %s, %s" % (mnemonic, rd, ra, rb))
+
+    def op_addi(self, rd, rs, imm):
+        self.emit("addi 0, %s, %s, %d" % (self.reg(rd), self.reg(rs), imm))
+
+    def op_loadb(self, rd, base, offset):
+        self.emit("ldb 0, %s, [%s, %d]" % (self.reg(rd), self.reg(base),
+                                           offset))
+
+    def op_storeb(self, rs, base, offset):
+        self.emit("stb 0, %s, [%s, %d]" % (self.reg(rs), self.reg(base),
+                                           offset))
+
+    def op_loadw(self, rd, base, offset):
+        self.emit("ldw 0, %s, [%s, %d]" % (self.reg(rd), self.reg(base),
+                                           offset))
+
+    def op_storew(self, rs, base, offset):
+        self.emit("stw 0, %s, [%s, %d]" % (self.reg(rs), self.reg(base),
+                                           offset))
+
+    def op_branch(self, cond, ra, rb, target):
+        self.emit("cmp %s, %s" % (self.reg(ra), self.reg(rb)))
+        self.emit("b %d, %s" % (self._PREDICATES[cond], target))
+
+    def op_jump(self, target):
+        self.emit("b 0, %s" % target)
+
+    def op_jumpr(self, rs):
+        self.emit("jr %s" % self.reg(rs))
+
+    def op_in(self, rd):
+        self.emit("inb %s" % self.reg(rd))
+
+    def op_out(self, rs):
+        self.emit("outb %s" % self.reg(rs))
+
+    def op_halt(self, code):
+        self.emit("halt %d" % code)
+
+    def op_trap(self, code):
+        self.emit("trap %d" % code)
+
+
+_BACKENDS = {
+    "rv32": _Rv32Backend,
+    "mips32": _Mips32Backend,
+    "armlite": _ArmliteBackend,
+    "vlx": _VlxBackend,
+    "pred32": _Pred32Backend,
+}
+
+
+def lower(program: PortableProgram, target: str) -> str:
+    """Lower a portable program to assembly text for ``target``."""
+    if target not in _BACKENDS:
+        raise ValueError("unknown target %r (have: %s)"
+                         % (target, ", ".join(sorted(_BACKENDS))))
+    return _BACKENDS[target]().lower(program)

@@ -1,0 +1,306 @@
+"""The defect suite: Juliet-style good/bad program pairs for every ISA.
+
+Each :class:`SuiteCase` describes one defect pattern (named after the CWE
+it models) and builds two portable-program variants:
+
+* ``bad``  — the defect is reachable under some input; the engine must
+  report it (with a triggering input).
+* ``good`` — the same computation correctly guarded; reporting anything is
+  a false positive.
+
+Layout: code at CODE_BASE, data buffers at DATA_BASE (the *end* of the
+image, so overflowing a buffer leaves mapped memory), an unimaged
+scratch region at SCRATCH_BASE for the uninitialized-read case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .. import core
+from ..core import Engine, EngineConfig
+from ..isa import assemble, build
+from .portable import PortableProgram, lower
+
+__all__ = ["SuiteCase", "all_cases", "case_by_name", "run_case",
+           "CODE_BASE", "DATA_BASE", "SCRATCH_BASE", "BUF_SIZE"]
+
+CODE_BASE = 0x1000
+DATA_BASE = 0x1400
+# A buffer at the image's *low* edge: indexing below it leaves the map
+# (the underflow-wrap case needs the wrapped index to go unmapped).
+LOW_BASE = 0x0f00
+SCRATCH_BASE = 0x1800
+SCRATCH_SIZE = 16
+BUF_SIZE = 16
+
+
+class SuiteCase:
+    """One defect pattern with bad/good builders."""
+
+    def __init__(self, name: str, cwe: str, defect_kind: str,
+                 description: str, builder, needs_uninit_check: bool = False,
+                 needs_taint_check: bool = False, extra_regions: Tuple = ()):
+        self.name = name
+        self.cwe = cwe
+        self.defect_kind = defect_kind
+        self.description = description
+        self._builder = builder
+        self.needs_uninit_check = needs_uninit_check
+        self.needs_taint_check = needs_taint_check
+        self.extra_regions = extra_regions   # (start, size, track_uninit)
+
+    def build(self, variant: str) -> PortableProgram:
+        if variant not in ("bad", "good"):
+            raise ValueError("variant must be 'bad' or 'good'")
+        return self._builder(variant == "bad")
+
+    def __repr__(self):
+        return "<SuiteCase %s (%s)>" % (self.name, self.cwe)
+
+
+def _prologue(program: PortableProgram) -> PortableProgram:
+    program.org(CODE_BASE)
+    program.entry("start")
+    program.label("start")
+    return program
+
+
+def _epilogue_with_buffer(program: PortableProgram,
+                          size: int = BUF_SIZE) -> PortableProgram:
+    program.org(DATA_BASE)
+    program.label("buf")
+    program.space(size)
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Case builders
+# ---------------------------------------------------------------------------
+
+def _div_by_zero(bad: bool) -> PortableProgram:
+    """CWE-369: divide 100 by an input byte; good guards against zero."""
+    p = _prologue(PortableProgram())
+    p.read_input("v0")
+    p.li("v1", 100)
+    if not bad:
+        p.li("v2", 0)
+        p.branch("eq", "v0", "v2", "done")
+    p.alu("divu", "v3", "v1", "v0")
+    p.write_output("v3")
+    p.label("done")
+    p.halt(0)
+    return p
+
+
+def _oob_write(bad: bool) -> PortableProgram:
+    """CWE-787: write buf[i] for an input index; good bounds-checks."""
+    p = _prologue(PortableProgram())
+    p.read_input("v0")
+    if not bad:
+        p.li("v3", BUF_SIZE)
+        p.branch("geu", "v0", "v3", "done")
+    p.li("v1", DATA_BASE)
+    p.alu("add", "v2", "v1", "v0")
+    p.storeb("v0", "v2", 0)
+    p.label("done")
+    p.halt(0)
+    return _epilogue_with_buffer(p)
+
+
+def _oob_read(bad: bool) -> PortableProgram:
+    """CWE-125: read buf[i] for an input index; good bounds-checks."""
+    p = _prologue(PortableProgram())
+    p.read_input("v0")
+    if not bad:
+        p.li("v3", BUF_SIZE)
+        p.branch("geu", "v0", "v3", "done")
+    p.li("v1", DATA_BASE)
+    p.alu("add", "v2", "v1", "v0")
+    p.loadb("v4", "v2", 0)
+    p.write_output("v4")
+    p.label("done")
+    p.halt(0)
+    return _epilogue_with_buffer(p)
+
+
+def _underflow_wrap(bad: bool) -> PortableProgram:
+    """CWE-191: buf[len-1] with the upper bound checked but len == 0
+    wrapping to a huge index; good also rejects zero."""
+    p = _prologue(PortableProgram())
+    p.read_input("v0")                    # length
+    p.li("v3", BUF_SIZE + 1)
+    p.branch("geu", "v0", "v3", "done")   # reject len > 16 (both variants)
+    if not bad:
+        p.li("v4", 0)
+        p.branch("eq", "v0", "v4", "done")  # good: also reject len == 0
+    p.addi("v1", "v0", -1)                # len - 1 (wraps when len == 0)
+    p.li("v2", LOW_BASE)
+    p.alu("add", "v2", "v2", "v1")
+    p.storeb("v0", "v2", 0)
+    p.label("done")
+    p.halt(0)
+    # The buffer sits at the low edge of the image so that buf[-1] (the
+    # wrapped index) is unmapped.
+    p.org(LOW_BASE)
+    p.label("buf")
+    p.space(BUF_SIZE)
+    return p
+
+
+def _off_by_one(bad: bool) -> PortableProgram:
+    """CWE-193: copy loop writing one element past an 8-byte buffer."""
+    limit = 9 if bad else 8
+    p = _prologue(PortableProgram())
+    p.li("v1", 0)                         # i
+    p.li("v2", DATA_BASE)
+    p.li("v3", limit)
+    p.label("loop")
+    p.branch("geu", "v1", "v3", "done")
+    p.read_input("v0")
+    p.alu("add", "v4", "v2", "v1")
+    p.storeb("v0", "v4", 0)
+    p.addi("v1", "v1", 1)
+    p.jump("loop")
+    p.label("done")
+    p.halt(0)
+    return _epilogue_with_buffer(p, size=8)
+
+
+def _magic_trap(bad: bool) -> PortableProgram:
+    """Reachable assertion: a trap behind a two-byte magic comparison;
+    the good variant's condition is unsatisfiable."""
+    p = _prologue(PortableProgram())
+    p.read_input("v0")
+    if bad:
+        p.li("v1", 0x5A)
+        p.branch("ne", "v0", "v1", "done")
+        p.read_input("v2")
+        p.li("v3", 0xA5)
+        p.branch("ne", "v2", "v3", "done")
+    else:
+        p.li("v4", 0x0F)
+        p.alu("and", "v0", "v0", "v4")
+        p.li("v1", 0x1F)                  # (x & 0x0f) == 0x1f: impossible
+        p.branch("ne", "v0", "v1", "done")
+    p.trap(13)
+    p.label("done")
+    p.halt(0)
+    return p
+
+
+def _uninit_read(bad: bool) -> PortableProgram:
+    """CWE-457: read a scratch byte before anything ever wrote it."""
+    p = _prologue(PortableProgram())
+    p.li("v1", SCRATCH_BASE)
+    if not bad:
+        p.li("v0", 7)
+        p.storeb("v0", "v1", 0)
+    p.loadb("v2", "v1", 0)
+    p.write_output("v2")
+    p.halt(0)
+    return p
+
+
+PAD_BASE = 0x1200   # fixed landing pads for the computed-goto case
+
+
+def _tainted_jump(bad: bool) -> PortableProgram:
+    """CWE-822-style control hijack.
+
+    bad:  a computed goto whose target is derived (masked, even bounded!)
+          from program input — the classic "attacker steers pc" pattern
+          the taint checker exists for.
+    good: the same dispatch rewritten as explicit branches; no indirect
+          control transfer ever sees input-derived data.
+    """
+    p = _prologue(PortableProgram())
+    p.read_input("v0")
+    p.li("v3", 16)
+    p.alu("and", "v0", "v0", "v3")            # offset 0 or 16
+    if bad:
+        p.li("v1", PAD_BASE)
+        p.alu("add", "v1", "v1", "v0")
+        p.jump_reg("v1")                      # tainted target
+    else:
+        p.li("v1", 0)
+        p.branch("eq", "v0", "v1", "pad0_j")
+        p.jump("pad1")
+        p.label("pad0_j")
+        p.jump("pad0")
+    # Landing pads at fixed addresses (PAD_BASE and PAD_BASE + 16).
+    p.org(PAD_BASE)
+    p.label("pad0")
+    p.halt(0)
+    p.org(PAD_BASE + 16)
+    p.label("pad1")
+    p.halt(0)
+    return p
+
+
+_CASES = [
+    SuiteCase("div_by_zero", "CWE-369", core.DIV_BY_ZERO,
+              "unguarded division by an attacker-controlled byte",
+              _div_by_zero),
+    SuiteCase("oob_write", "CWE-787", core.OOB_ACCESS,
+              "unchecked input index used for a buffer write",
+              _oob_write),
+    SuiteCase("oob_read", "CWE-125", core.OOB_ACCESS,
+              "unchecked input index used for a buffer read",
+              _oob_read),
+    SuiteCase("underflow_wrap", "CWE-191", core.OOB_ACCESS,
+              "len-1 wraps past zero despite an upper bound check",
+              _underflow_wrap),
+    SuiteCase("off_by_one", "CWE-193", core.OOB_ACCESS,
+              "copy loop bound one past the end of the buffer",
+              _off_by_one),
+    SuiteCase("magic_trap", "assert", core.TRAP,
+              "assertion failure reachable behind a 2-byte magic check",
+              _magic_trap),
+    SuiteCase("uninit_read", "CWE-457", core.UNINIT_READ,
+              "scratch memory read before first write",
+              _uninit_read, needs_uninit_check=True,
+              extra_regions=((SCRATCH_BASE, SCRATCH_SIZE, True),)),
+    SuiteCase("tainted_jump", "CWE-822", core.TAINTED_CONTROL,
+              "computed goto steered by program input",
+              _tainted_jump, needs_taint_check=True),
+]
+
+
+def all_cases() -> List[SuiteCase]:
+    return list(_CASES)
+
+
+def case_by_name(name: str) -> SuiteCase:
+    for case in _CASES:
+        if case.name == name:
+            return case
+    raise KeyError("no suite case named %r" % name)
+
+
+def run_case(case: SuiteCase, target: str, variant: str,
+             strategy: str = "dfs",
+             config: Optional[EngineConfig] = None):
+    """Build, assemble and symbolically execute one case variant.
+
+    Returns ``(detected, result, image)`` where ``detected`` is True when a
+    defect of the case's kind was reported.
+    """
+    model = build(target)
+    source = lower(case.build(variant), target)
+    image = assemble(model, source, base=CODE_BASE)
+    if config is None:
+        config = EngineConfig(max_steps_per_path=4096)
+    if case.needs_uninit_check:
+        config.check_uninit = True
+    if case.needs_taint_check:
+        config.check_tainted_control = True
+    engine = Engine(model, config=config)
+    engine.load_image(image)
+    for start, size, track_uninit in case.extra_regions:
+        engine.add_region(start, size, name="scratch",
+                          track_uninit=track_uninit)
+    result = engine.explore()
+    detected = any(defect.kind == case.defect_kind
+                   for defect in result.defects)
+    return detected, result, image

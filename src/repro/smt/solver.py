@@ -1,0 +1,160 @@
+"""The SMT solver front end used by the execution engine.
+
+:class:`Solver` exposes the conventional assert / push / pop / check / model
+interface over the bit-blaster and CDCL core.  Three layers are tried in
+order on every :meth:`check` call, cheapest first:
+
+1. **Model cache** — recently found models (plus the all-zero assignment)
+   are replayed through the term evaluator; symbolic-execution workloads
+   re-ask very similar questions, so this answers a large share of SAT
+   queries without touching the SAT solver.
+2. **Interval pre-filter** — conservative range analysis proves easy
+   unsats (e.g. contradictory equalities on the same variable).
+3. **Bit-blast + CDCL** — the complete decision procedure.  Assertions are
+   blasted into one persistent CNF and each check solves under assumptions,
+   so learned clauses carry over between path-feasibility queries.
+
+Layers 1 and 2 can be disabled (``use_model_cache`` / ``use_intervals``)
+for the Figure 2 ablation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional
+
+from . import terms as T
+from .bitblast import BitBlaster
+from .interval import refute_conjunction
+from .sat import SAT, UNSAT, SatSolver
+
+__all__ = ["Solver", "SolverStats", "SAT", "UNSAT"]
+
+
+class SolverStats:
+    """Counters for the throughput/ablation benchmarks."""
+
+    def __init__(self):
+        self.checks = 0
+        self.cache_sat = 0
+        self.interval_unsat = 0
+        self.sat_calls = 0
+        self.sat_results = 0
+        self.unsat_results = 0
+        self.solve_time = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.__dict__)
+
+    def __repr__(self):
+        return "SolverStats(%s)" % ", ".join(
+            "%s=%s" % item for item in sorted(self.__dict__.items()))
+
+
+class Solver:
+    """Incremental QF_BV solver (assert / push / pop / check / model)."""
+
+    def __init__(self, use_intervals: bool = True,
+                 use_model_cache: bool = True,
+                 model_cache_size: int = 3):
+        self.use_intervals = use_intervals
+        self.use_model_cache = use_model_cache
+        self._blaster = BitBlaster(SatSolver())
+        self._frames: List[List[T.Term]] = [[]]
+        self._model_cache: List[Dict[str, int]] = []
+        self._model_cache_size = model_cache_size
+        self._last_model: Optional[Dict[str, int]] = None
+        self.stats = SolverStats()
+
+    # -- assertion management -------------------------------------------------
+
+    def add(self, term: T.Term) -> None:
+        """Assert a boolean term in the current frame."""
+        if term.width != 1:
+            raise T.WidthError(
+                "assertions must be boolean (width 1), got width %d" % term.width)
+        self._frames[-1].append(term)
+
+    def push(self) -> None:
+        self._frames.append([])
+
+    def pop(self) -> None:
+        if len(self._frames) == 1:
+            raise T.SmtError("cannot pop the outermost frame")
+        self._frames.pop()
+
+    def assertions(self) -> List[T.Term]:
+        return [term for frame in self._frames for term in frame]
+
+    # -- solving ----------------------------------------------------------------
+
+    def check(self, extra: Iterable[T.Term] = ()) -> str:
+        """Check satisfiability of the assertions plus ``extra`` terms."""
+        self.stats.checks += 1
+        start = time.perf_counter()
+        try:
+            result = self._check(list(extra))
+        finally:
+            self.stats.solve_time += time.perf_counter() - start
+        if result == SAT:
+            self.stats.sat_results += 1
+        else:
+            self.stats.unsat_results += 1
+        return result
+
+    def _check(self, extra: List[T.Term]) -> str:
+        conds = self.assertions() + extra
+        for term in extra:
+            if term.width != 1:
+                raise T.WidthError("extra constraints must be boolean")
+        if any(T.is_false(term) for term in conds):
+            return UNSAT
+        conds = [term for term in conds if not T.is_true(term)]
+        if not conds:
+            self._last_model = {}
+            return SAT
+        if self.use_model_cache:
+            for candidate in self._candidate_models():
+                if T.all_true(conds, candidate):
+                    self.stats.cache_sat += 1
+                    self._remember(candidate)
+                    self._last_model = candidate
+                    return SAT
+        if self.use_intervals and refute_conjunction(conds):
+            self.stats.interval_unsat += 1
+            return UNSAT
+        self.stats.sat_calls += 1
+        assumptions = [self._blaster.literal_for(term) for term in conds]
+        if self._blaster.sat.solve(assumptions) == UNSAT:
+            return UNSAT
+        model = self._blaster.extract_model(self._blaster.sat.model())
+        self._last_model = model
+        self._remember(model)
+        # Internal consistency check: the model must actually satisfy the
+        # query (catches bit-blaster bugs immediately).
+        if not T.all_true(conds, model):
+            raise T.SmtError("solver produced a model that does not satisfy "
+                             "the query; this is a bug in the bit-blaster")
+        return SAT
+
+    def _candidate_models(self):
+        yield {}
+        for model in reversed(self._model_cache):
+            yield model
+
+    def _remember(self, model: Dict[str, int]) -> None:
+        if model in self._model_cache:
+            return
+        self._model_cache.append(dict(model))
+        if len(self._model_cache) > self._model_cache_size:
+            self._model_cache.pop(0)
+
+    def model(self) -> Dict[str, int]:
+        """The model of the last SAT answer (var name -> unsigned int)."""
+        if self._last_model is None:
+            raise T.SmtError("no model available; call check() first")
+        return dict(self._last_model)
+
+    def eval_term(self, term: T.Term) -> int:
+        """Evaluate ``term`` under the last model."""
+        return T.evaluate(term, self.model())

@@ -1,0 +1,251 @@
+"""Unit tests for ADL semantic analysis (layout, references, ambiguity)."""
+
+import pytest
+
+from repro.adl import load_builtin_spec
+from repro.adl.analyze import analyze, syntax_placeholders
+from repro.adl.errors import AdlSemanticError
+from repro.adl.parser import parse_spec
+
+
+def _spec(body):
+    return parse_spec("architecture t {\n%s\n}" % body)
+
+
+GOOD_HEAD = """
+  wordsize 16
+  endian little
+  regfile r[4] width 16
+  pc width 16
+  encoding e { a:4 b:4 op:8 }
+"""
+
+GOOD_INSTR = """
+  instruction add {
+    encoding e
+    match op = 1
+    syntax "add {a:r}, {b:r}"
+    semantics { r[a] = r[a] + r[b]; }
+  }
+"""
+
+
+class TestGlobalChecks:
+    def test_good_spec_analyzes(self):
+        analyze(_spec(GOOD_HEAD + GOOD_INSTR))
+
+    def test_missing_wordsize_rejected(self):
+        bad = GOOD_HEAD.replace("wordsize 16", "") + GOOD_INSTR
+        with pytest.raises(AdlSemanticError):
+            analyze(_spec(bad))
+
+    def test_missing_pc_rejected(self):
+        bad = GOOD_HEAD.replace("pc width 16", "") + GOOD_INSTR
+        with pytest.raises(AdlSemanticError):
+            analyze(_spec(bad))
+
+    def test_zero_index_out_of_range(self):
+        bad = GOOD_HEAD.replace("regfile r[4] width 16",
+                                "regfile r[4] width 16 zero 4") + GOOD_INSTR
+        with pytest.raises(AdlSemanticError):
+            analyze(_spec(bad))
+
+    def test_alias_unknown_regfile(self):
+        bad = GOOD_HEAD + "alias sp = q[2]\n" + GOOD_INSTR
+        with pytest.raises(AdlSemanticError):
+            analyze(_spec(bad))
+
+    def test_alias_index_out_of_range(self):
+        bad = GOOD_HEAD + "alias sp = r[9]\n" + GOOD_INSTR
+        with pytest.raises(AdlSemanticError):
+            analyze(_spec(bad))
+
+    def test_register_colliding_with_regfile(self):
+        bad = GOOD_HEAD + "register r width 1\n" + GOOD_INSTR
+        with pytest.raises(AdlSemanticError):
+            analyze(_spec(bad))
+
+
+class TestEncodingLayout:
+    def test_field_offsets_msb_first(self):
+        spec = analyze(_spec(GOOD_HEAD + GOOD_INSTR))
+        enc = spec.encodings["e"]
+        assert enc.field("a").lsb == 12
+        assert enc.field("b").lsb == 8
+        assert enc.field("op").lsb == 0
+
+    def test_non_byte_multiple_rejected(self):
+        bad = GOOD_HEAD.replace("{ a:4 b:4 op:8 }", "{ a:4 op:8 }") \
+            + GOOD_INSTR.replace("{b:r}", "{op}").replace("match op = 1",
+                                                          "match b = 0")
+        with pytest.raises(AdlSemanticError):
+            analyze(_spec(bad))
+
+    def test_duplicate_field_rejected(self):
+        bad = GOOD_HEAD.replace("{ a:4 b:4 op:8 }", "{ a:4 a:4 op:8 }") \
+            + GOOD_INSTR
+        with pytest.raises(AdlSemanticError):
+            analyze(_spec(bad))
+
+
+class TestInstructionChecks:
+    def test_unknown_encoding(self):
+        bad = GOOD_HEAD + GOOD_INSTR.replace("encoding e", "encoding zzz")
+        with pytest.raises(AdlSemanticError):
+            analyze(_spec(bad))
+
+    def test_match_unknown_field(self):
+        bad = GOOD_HEAD + GOOD_INSTR.replace("match op = 1",
+                                             "match nosuch = 1")
+        with pytest.raises(AdlSemanticError):
+            analyze(_spec(bad))
+
+    def test_match_value_too_wide(self):
+        bad = GOOD_HEAD + GOOD_INSTR.replace("match op = 1",
+                                             "match op = 0x100")
+        with pytest.raises(AdlSemanticError):
+            analyze(_spec(bad))
+
+    def test_duplicate_instruction_name(self):
+        with pytest.raises(AdlSemanticError):
+            analyze(_spec(GOOD_HEAD + GOOD_INSTR
+                          + GOOD_INSTR.replace("match op = 1",
+                                               "match op = 2")))
+
+    def test_syntax_unknown_placeholder(self):
+        bad = GOOD_HEAD + GOOD_INSTR.replace("{b:r}", "{zz:r}")
+        with pytest.raises(AdlSemanticError):
+            analyze(_spec(bad))
+
+    def test_syntax_references_fixed_field(self):
+        bad = GOOD_HEAD + GOOD_INSTR.replace("{b:r}", "{op}").replace(
+            "match op = 1", "match op = 1, b = 0")
+        with pytest.raises(AdlSemanticError):
+            analyze(_spec(bad))
+
+    def test_unconstrained_field_rejected(self):
+        # Field b neither matched nor referenced by the syntax.
+        bad = GOOD_HEAD + GOOD_INSTR.replace(
+            'syntax "add {a:r}, {b:r}"', 'syntax "add {a:r}"')
+        with pytest.raises(AdlSemanticError):
+            analyze(_spec(bad))
+
+    def test_operand_covers_field(self):
+        good = GOOD_HEAD + """
+          instruction br {
+            encoding e
+            match op = 2
+            operand off = a :: b signed pcrel
+            syntax "br {off}"
+            semantics { pc = pc + sext(off, 16); }
+          }
+        """
+        spec = analyze(_spec(good))
+        assert spec.instructions[0].operands[0].width == 8
+
+    def test_operand_using_fixed_field_rejected(self):
+        bad = GOOD_HEAD + """
+          instruction br {
+            encoding e
+            match op = 2, a = 0
+            operand off = a :: b
+            syntax "br {off}"
+            semantics { pc = pc + sext(off, 16); }
+          }
+        """
+        with pytest.raises(AdlSemanticError):
+            analyze(_spec(bad))
+
+    def test_register_typed_operand_rejected(self):
+        bad = GOOD_HEAD + """
+          instruction br {
+            encoding e
+            match op = 2
+            operand off = a :: b
+            syntax "br {off:r}"
+            semantics { pc = pc + sext(off, 16); }
+          }
+        """
+        with pytest.raises(AdlSemanticError):
+            analyze(_spec(bad))
+
+
+class TestDecodeAmbiguity:
+    def test_same_pattern_rejected(self):
+        bad = GOOD_HEAD + GOOD_INSTR + GOOD_INSTR.replace(
+            "instruction add", "instruction add2")
+        with pytest.raises(AdlSemanticError) as err:
+            analyze(_spec(bad))
+        assert "overlap" in str(err.value)
+
+    def test_overlapping_masks_rejected(self):
+        # One instruction fixes op=1; another fixes only a=1 -- a word with
+        # op=1 and a=1 matches both.
+        bad = GOOD_HEAD + GOOD_INSTR + """
+          instruction other {
+            encoding e
+            match a = 1
+            syntax "other {b:r}, {op}"
+            semantics { r[b] = zext(op, 16); }
+          }
+        """
+        with pytest.raises(AdlSemanticError):
+            analyze(_spec(bad))
+
+    def test_variable_length_prefix_conflict_detected(self):
+        bad = """
+          wordsize 16
+          endian little
+          regfile r[4] width 16
+          pc width 16
+          encoding one { op:8 }
+          encoding two { imm:8 op:8 }
+          instruction nop {
+            encoding one
+            match op = 7
+            syntax "nop"
+            semantics { }
+          }
+          instruction ldi {
+            encoding two
+            match op = 7
+            syntax "ldi {imm}"
+            semantics { r[0] = zext(imm, 16); }
+          }
+        """
+        with pytest.raises(AdlSemanticError):
+            analyze(_spec(bad))
+
+    def test_variable_length_distinct_opcodes_ok(self):
+        good = """
+          wordsize 16
+          endian little
+          regfile r[4] width 16
+          pc width 16
+          encoding one { op:8 }
+          encoding two { imm:8 op:8 }
+          instruction nop {
+            encoding one
+            match op = 7
+            syntax "nop"
+            semantics { }
+          }
+          instruction ldi {
+            encoding two
+            match op = 8
+            syntax "ldi {imm}"
+            semantics { r[0] = zext(imm, 16); }
+          }
+        """
+        analyze(_spec(good))
+
+
+class TestBuiltinSpecs:
+    @pytest.mark.parametrize("name", ["rv32", "mips32", "armlite", "vlx", "pred32"])
+    def test_builtin_spec_analyzes(self, name):
+        spec = load_builtin_spec(name)
+        assert spec.instructions
+
+    def test_placeholders_helper(self):
+        found = list(syntax_placeholders("add {rd:x}, {rs1:x}, {imm}"))
+        assert found == [("rd", "x"), ("rs1", "x"), ("imm", None)]

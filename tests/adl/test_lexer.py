@@ -1,0 +1,122 @@
+"""Unit tests for the ADL tokenizer."""
+
+import pytest
+
+from repro.adl.errors import AdlSyntaxError
+from repro.adl.lexer import TokenStream, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop eof
+
+
+def values(text):
+    return [t.value for t in tokenize(text)][:-1]
+
+
+class TestBasicTokens:
+    def test_empty_gives_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == "eof"
+
+    def test_names_and_ints(self):
+        assert kinds("foo 42 bar") == ["name", "int", "name"]
+
+    def test_hex_literal(self):
+        assert values("0xff") == [255]
+
+    def test_hex_with_underscores(self):
+        assert values("0xdead_beef") == [0xDEADBEEF]
+
+    def test_binary_literal(self):
+        assert values("0b1010") == [10]
+
+    def test_decimal_with_underscores(self):
+        assert values("1_000_000") == [1000000]
+
+    def test_string_literal(self):
+        assert values('"add {rd}, {rs1}"') == ["add {rd}, {rs1}"]
+
+    def test_string_with_escapes(self):
+        assert values(r'"a\nb"') == ["a\nb"]
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(AdlSyntaxError):
+            tokenize('"unclosed')
+
+    def test_char_literal(self):
+        assert values("'A'") == [65]
+
+    def test_char_escape(self):
+        assert values(r"'\n'") == [10]
+        assert values(r"'\0'") == [0]
+
+    def test_bad_char_escape_rejected(self):
+        with pytest.raises(AdlSyntaxError):
+            tokenize(r"'\q'")
+
+    def test_comment_stripped(self):
+        assert kinds("a # comment here\nb") == ["name", "name"]
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(AdlSyntaxError):
+            tokenize("a $ b")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3
+        assert tokens[2].column == 3
+
+
+class TestOperators:
+    def test_signed_operators_longest_match(self):
+        assert [t.text for t in tokenize("a <=s b")][:-1] == ["a", "<=s", "b"]
+
+    def test_signed_suffix_not_eating_names(self):
+        # '<sel' must lex as '<' then name 'sel', not '<s' 'el'.
+        texts = [t.text for t in tokenize("a <sel")][:-1]
+        assert texts == ["a", "<", "sel"]
+
+    def test_shift_operators(self):
+        assert [t.text for t in tokenize(">> >>s <<")][:-1] == [
+            ">>", ">>s", "<<"]
+
+    def test_concat_operator(self):
+        assert [t.text for t in tokenize("hi :: lo")][:-1] == [
+            "hi", "::", "lo"]
+
+    def test_comparison_chain(self):
+        assert [t.text for t in tokenize("== != <= >=")][:-1] == [
+            "==", "!=", "<=", ">="]
+
+
+class TestTokenStream:
+    def test_expect_success(self):
+        stream = TokenStream(tokenize("architecture rv32"))
+        assert stream.expect_keyword("architecture").text == "architecture"
+        assert stream.expect("name").text == "rv32"
+
+    def test_expect_failure_has_location(self):
+        stream = TokenStream(tokenize("architecture 42"))
+        stream.next()
+        with pytest.raises(AdlSyntaxError) as err:
+            stream.expect("name")
+        assert "42" in str(err.value)
+
+    def test_accept_returns_none_on_mismatch(self):
+        stream = TokenStream(tokenize("x"))
+        assert stream.accept("int") is None
+        assert stream.accept("name") is not None
+
+    def test_peek_does_not_consume(self):
+        stream = TokenStream(tokenize("a b"))
+        assert stream.peek().text == "a"
+        assert stream.peek(1).text == "b"
+        assert stream.next().text == "a"
+
+    def test_next_at_eof_stays_at_eof(self):
+        stream = TokenStream(tokenize(""))
+        assert stream.next().kind == "eof"
+        assert stream.next().kind == "eof"

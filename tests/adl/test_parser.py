@@ -1,0 +1,215 @@
+"""Unit tests for the ADL parser."""
+
+import pytest
+
+from repro.adl import ast as A
+from repro.adl.errors import AdlSyntaxError
+from repro.adl.parser import parse_spec
+
+MINIMAL = """
+architecture toy {
+  wordsize 16
+  endian little
+  regfile r[4] width 16
+  pc width 16
+  encoding e { a:4 b:4 op:8 }
+  instruction add {
+    encoding e
+    match op = 1
+    syntax "add {a:r}, {b:r}"
+    semantics { r[a] = r[a] + r[b]; }
+  }
+}
+"""
+
+
+class TestSpecStructure:
+    def test_minimal_parses(self):
+        spec = parse_spec(MINIMAL)
+        assert spec.name == "toy"
+        assert spec.wordsize == 16
+        assert spec.endian == "little"
+        assert "r" in spec.regfiles
+        assert spec.pc is not None and spec.pc.width == 16
+        assert len(spec.instructions) == 1
+
+    def test_regfile_options(self):
+        spec = parse_spec("""
+        architecture t { wordsize 32 pc width 32
+          regfile x[32] width 32 prefix "g" zero 0
+        }""")
+        decl = spec.regfiles["x"]
+        assert decl.count == 32 and decl.prefix == "g" and decl.zero_index == 0
+
+    def test_regfile_default_prefix_is_name(self):
+        spec = parse_spec("""
+        architecture t { wordsize 32 pc width 32 regfile v[8] width 32 }""")
+        assert spec.regfiles["v"].prefix == "v"
+
+    def test_register_and_alias(self):
+        spec = parse_spec("""
+        architecture t { wordsize 32 pc width 32
+          regfile r[16] width 32
+          register Z width 1
+          alias sp = r[13]
+        }""")
+        assert spec.registers["Z"].width == 1
+        assert spec.aliases[0].alias == "sp"
+        assert spec.aliases[0].index == 13
+
+    def test_bad_endian_rejected(self):
+        with pytest.raises(AdlSyntaxError):
+            parse_spec("architecture t { endian middle }")
+
+    def test_unknown_item_rejected(self):
+        with pytest.raises(AdlSyntaxError):
+            parse_spec("architecture t { bogus 3 }")
+
+    def test_encoding_fields_in_order(self):
+        spec = parse_spec(MINIMAL)
+        assert [f.name for f in spec.encodings["e"].fields] == ["a", "b",
+                                                                "op"]
+        assert spec.encodings["e"].total_bits == 16
+
+
+class TestInstructionClauses:
+    def test_match_values(self):
+        spec = parse_spec(MINIMAL)
+        assert spec.instructions[0].match == {"op": 1}
+
+    def test_multiple_match_values(self):
+        spec = parse_spec(MINIMAL.replace("match op = 1",
+                                          "match op = 1, a = 2"))
+        assert spec.instructions[0].match == {"op": 1, "a": 2}
+
+    def test_missing_encoding_rejected(self):
+        bad = MINIMAL.replace("encoding e\n", "", 1).replace(
+            "    encoding e", "")
+        with pytest.raises(AdlSyntaxError):
+            parse_spec(bad)
+
+    def test_missing_syntax_rejected(self):
+        bad = MINIMAL.replace('syntax "add {a:r}, {b:r}"', "")
+        with pytest.raises(AdlSyntaxError):
+            parse_spec(bad)
+
+    def test_missing_semantics_rejected(self):
+        bad = MINIMAL.replace("semantics { r[a] = r[a] + r[b]; }", "")
+        with pytest.raises(AdlSyntaxError):
+            parse_spec(bad)
+
+    def test_operand_parts(self):
+        spec = parse_spec(MINIMAL.replace(
+            "match op = 1",
+            "match op = 1\n    operand off = a :: b :: 0[1] signed pcrel"))
+        operand = spec.instructions[0].operands[0]
+        assert [p.field_name for p in operand.parts] == ["a", "b", None]
+        assert operand.parts[2].zero_bits == 1
+        assert operand.signed and operand.pcrel
+        assert operand.pcrel_base == 0
+
+    def test_operand_pcrel_base(self):
+        spec = parse_spec(MINIMAL.replace(
+            "match op = 1",
+            "match op = 1\n    operand off = a signed pcrel 4"))
+        assert spec.instructions[0].operands[0].pcrel_base == 4
+
+    def test_operand_nonzero_padding_rejected(self):
+        with pytest.raises(AdlSyntaxError):
+            parse_spec(MINIMAL.replace(
+                "match op = 1",
+                "match op = 1\n    operand off = a :: 1[2]"))
+
+
+class TestSemanticsStatements:
+    def _semantics(self, body):
+        spec = parse_spec(MINIMAL.replace("r[a] = r[a] + r[b];", body))
+        return spec.instructions[0].semantics
+
+    def test_assignment(self):
+        stmts = self._semantics("pc = pc + 2;")
+        assert isinstance(stmts[0], A.AAssign)
+        assert isinstance(stmts[0].target, A.SName)
+
+    def test_indexed_assignment(self):
+        stmts = self._semantics("r[a] = 1;")
+        assert isinstance(stmts[0].target, A.SIndex)
+
+    def test_local(self):
+        stmts = self._semantics("local t:16 = r[a]; r[b] = t;")
+        assert isinstance(stmts[0], A.ALocal)
+        assert stmts[0].width == 16
+
+    def test_if_else(self):
+        stmts = self._semantics(
+            "if (r[a] == 0) { pc = 0; } else { pc = 2; }")
+        assert isinstance(stmts[0], A.AIf)
+        assert len(stmts[0].then_body) == 1
+        assert len(stmts[0].else_body) == 1
+
+    def test_else_if_chains(self):
+        stmts = self._semantics(
+            "if (r[a] == 0) { pc = 0; } else if (r[a] == 1) { pc = 2; }")
+        assert isinstance(stmts[0].else_body[0], A.AIf)
+
+    def test_store_out_halt_trap(self):
+        stmts = self._semantics(
+            "store(r[a], r[b], 2); out(extract(r[a],7,0)); halt(0); trap(1);")
+        assert isinstance(stmts[0], A.AStore) and stmts[0].size == 2
+        assert isinstance(stmts[1], A.AOut)
+        assert isinstance(stmts[2], A.AHalt)
+        assert isinstance(stmts[3], A.ATrap)
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(AdlSyntaxError):
+            self._semantics("r[a] = 1")
+
+
+class TestSemanticsExpressions:
+    def _expr(self, text):
+        spec = parse_spec(MINIMAL.replace("r[a] + r[b]", text))
+        return spec.instructions[0].semantics[0].value
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("r[a] + r[b] * 2")
+        assert expr.op == "add"
+        assert expr.right.op == "mul"
+
+    def test_precedence_compare_over_and(self):
+        expr = self._expr("(r[a] == 0 && r[b] == 1) ? r[a] : r[b]")
+        assert isinstance(expr, A.STernary)
+        assert expr.cond.op == "and"
+        assert expr.cond.left.op == "eq"
+
+    def test_signed_operators(self):
+        assert self._expr("r[a] <s r[b] ? r[a] : r[b]").cond.op == "slt"
+        assert self._expr("r[a] >>s 1").op == "ashr"
+        assert self._expr("r[a] /s r[b]").op == "sdiv"
+        assert self._expr("r[a] %s r[b]").op == "srem"
+
+    def test_unary_operators(self):
+        assert self._expr("~r[a]").op == "not"
+        assert self._expr("-r[a]").op == "neg"
+
+    def test_negative_literal_folds(self):
+        expr = self._expr("-5")
+        assert isinstance(expr, A.SLit) and expr.value == -5
+
+    def test_builtins(self):
+        expr = self._expr("sext(r[a], 32)")
+        assert isinstance(expr, A.SCall) and expr.name == "sext"
+        expr = self._expr("load(r[a], 2)")
+        assert expr.name == "load"
+
+    def test_in_builtin(self):
+        expr = self._expr("in()")
+        assert isinstance(expr, A.SCall) and expr.args == []
+
+    def test_parenthesized_grouping(self):
+        expr = self._expr("(r[a] + r[b]) * 2")
+        assert expr.op == "mul"
+        assert expr.left.op == "add"
+
+    def test_char_literal_expression(self):
+        expr = self._expr("'A'")
+        assert isinstance(expr, A.SLit) and expr.value == 65

@@ -1,0 +1,184 @@
+"""Unit tests for ADL semantics -> IR translation (widths, names, in())."""
+
+import pytest
+
+from repro.adl.analyze import analyze
+from repro.adl.errors import AdlSemanticError
+from repro.adl.parser import parse_spec
+from repro.adl.translate import translate_instruction
+from repro.ir import nodes as N
+
+HEAD = """
+  wordsize 16
+  endian little
+  regfile r[4] width 16
+  register Z width 1
+  pc width 16
+  encoding e { a:4 b:4 op:8 }
+"""
+
+
+def _translate(body, operand=""):
+    text = "architecture t {%s instruction i { encoding e\n match op = 1\n" \
+           " %s syntax \"i {a:r}, {b:r}\"\n semantics { %s } } }" \
+           % (HEAD, operand, body)
+    spec = analyze(parse_spec(text))
+    return translate_instruction(spec, spec.instructions[0])
+
+
+class TestNameResolution:
+    def test_regfile_element(self):
+        block = _translate("r[a] = r[b];")
+        stmt = block[0]
+        assert isinstance(stmt, N.SetReg) and stmt.regfile == "r"
+        assert isinstance(stmt.index, N.Field)
+        assert isinstance(stmt.value, N.ReadReg)
+
+    def test_pc_read_write(self):
+        block = _translate("pc = pc + 2;")
+        assert isinstance(block[0], N.SetPc)
+        assert isinstance(block[0].value.left, N.Pc)
+
+    def test_single_register(self):
+        block = _translate("Z = r[a] == 0;")
+        assert isinstance(block[0], N.SetReg) and block[0].index is None
+
+    def test_field_reference(self):
+        block = _translate("r[a] = zext(b, 16);")
+        assert isinstance(block[0].value.operand, N.Field)
+
+    def test_local_declaration_and_use(self):
+        block = _translate("local t:16 = r[a]; r[b] = t;")
+        assert isinstance(block[0], N.SetLocal)
+        assert isinstance(block[1].value, N.Local)
+
+    def test_local_shadowing_rejected(self):
+        with pytest.raises(AdlSemanticError):
+            _translate("local a:16 = 0;")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(AdlSemanticError):
+            _translate("r[a] = mystery;")
+
+    def test_assign_to_field_rejected(self):
+        with pytest.raises(AdlSemanticError):
+            _translate("a = 1;")
+
+    def test_bare_regfile_rejected(self):
+        with pytest.raises(AdlSemanticError):
+            _translate("r[a] = r;")
+
+    def test_operand_width(self):
+        block = _translate("pc = pc + sext(off, 16);",
+                           operand="operand off = a :: b :: 0[1] signed\n")
+        ext = block[0].value.right
+        assert isinstance(ext, N.Ext)
+        assert ext.operand.width == 9
+
+
+class TestWidthDiscipline:
+    def test_literal_adapts_to_register(self):
+        block = _translate("r[a] = 5;")
+        assert block[0].value.width == 16
+
+    def test_literal_adapts_in_binop(self):
+        block = _translate("r[a] = r[b] + 1;")
+        assert block[0].value.right.width == 16
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(AdlSemanticError):
+            _translate("r[a] = zext(b, 8);")   # 8-bit into 16-bit register
+
+    def test_mixed_width_binop_rejected(self):
+        with pytest.raises(AdlSemanticError):
+            _translate("r[a] = r[b] + a;")     # 16 + 4
+
+    def test_explicit_extension_accepted(self):
+        _translate("r[a] = r[b] + zext(a, 16);")
+
+    def test_literal_too_wide_rejected(self):
+        with pytest.raises(AdlSemanticError):
+            _translate("r[a] = 0x10000;")      # 17 bits into 16
+
+    def test_negative_literal_range(self):
+        _translate("r[a] = r[b] + -32768;")
+        with pytest.raises(AdlSemanticError):
+            _translate("r[a] = r[b] + -32769;")
+
+    def test_comparison_yields_bool(self):
+        block = _translate("Z = r[a] < r[b];")
+        assert block[0].value.width == 1
+
+    def test_if_condition_must_be_bool(self):
+        with pytest.raises(AdlSemanticError):
+            _translate("if (r[a]) { halt(0); }")
+
+    def test_ternary_branches_same_width(self):
+        block = _translate("r[a] = (r[b] == 0) ? 1 : 2;")
+        assert isinstance(block[0].value, N.IteExpr)
+        assert block[0].value.width == 16
+
+    def test_store_value_width_checked(self):
+        _translate("store(r[a], extract(r[b], 7, 0), 1);")
+        with pytest.raises(AdlSemanticError):
+            _translate("store(r[a], r[b], 1);")  # 16-bit value, 1 byte
+
+    def test_halt_code_is_8_bits(self):
+        with pytest.raises(AdlSemanticError):
+            _translate("halt(r[a]);")
+        _translate("halt(extract(r[a], 7, 0));")
+
+
+class TestBuiltins:
+    def test_sext_narrowing_rejected(self):
+        with pytest.raises(AdlSemanticError):
+            _translate("r[a] = sext(r[b], 8);")
+
+    def test_extract_range_checked(self):
+        with pytest.raises(AdlSemanticError):
+            _translate("r[a] = zext(extract(r[b], 16, 0), 16);")
+
+    def test_extract_requires_literals(self):
+        with pytest.raises(AdlSemanticError):
+            _translate("r[a] = zext(extract(r[b], a, 0), 16);")
+
+    def test_concat(self):
+        block = _translate("r[a] = concat(a, extract(r[b], 11, 0));")
+        assert isinstance(block[0].value, N.ConcatBits)
+        assert block[0].value.width == 16
+
+    def test_load_size_literal_required(self):
+        with pytest.raises(AdlSemanticError):
+            _translate("r[a] = load(r[b], a);")
+
+    def test_load_size_validated(self):
+        with pytest.raises(AdlSemanticError):
+            _translate("r[a] = zext(load(r[b], 3), 16);")
+
+    def test_unknown_builtin_rejected(self):
+        # Unknown call syntax is rejected at parse time (AdlError base).
+        from repro.adl.errors import AdlError
+        with pytest.raises(AdlError):
+            _translate("r[a] = sqrt(r[b], 2);")
+
+
+class TestInputDiscipline:
+    def test_in_as_local_rhs(self):
+        block = _translate("local v:8 = in(); r[a] = zext(v, 16);")
+        assert isinstance(block[0].value, N.InputByte)
+
+    def test_in_requires_8bit_target(self):
+        with pytest.raises(AdlSemanticError):
+            _translate("r[a] = in();")         # 16-bit register
+
+    def test_in_nested_rejected(self):
+        with pytest.raises(AdlSemanticError):
+            _translate("local v:8 = in() + 1;")
+
+    def test_in_inside_call_rejected(self):
+        with pytest.raises(AdlSemanticError):
+            _translate("r[a] = zext(in(), 16);")
+
+    def test_in_with_args_rejected(self):
+        with pytest.raises(AdlSemanticError):
+            _translate("local v:8 = in(1);")

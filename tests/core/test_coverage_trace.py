@@ -1,0 +1,193 @@
+"""Tests for coverage measurement, execution tracing, and taint checks."""
+
+import pytest
+
+from repro import core
+from repro.core import Engine, EngineConfig, measure, trace_run
+from repro.isa import assemble, build
+from repro.programs import build_kernel
+
+
+def explore(target, source=None, kernel=None, config=None, **params):
+    model = build(target)
+    if kernel is not None:
+        model, image = build_kernel(kernel, target, **params)
+    else:
+        image = assemble(model, source, base=0x1000)
+    engine = Engine(model, config=config or EngineConfig(
+        collect_coverage=True))
+    engine.load_image(image)
+    return model, image, engine.explore()
+
+
+class TestCoverage:
+    def test_full_coverage_on_exhaustive_exploration(self):
+        model, image, result = explore("rv32", kernel="bsearch")
+        report = measure(model, image, result.visited_pcs)
+        assert report.instruction_ratio == 1.0
+        assert report.block_ratio == 1.0
+        assert not report.uncovered_blocks()
+
+    def test_partial_coverage_reported(self):
+        model, image, result = explore("rv32", source="""
+        .org 0x1000
+        start:
+            addi x1, x0, 1
+            beq x1, x0, dead     # never taken
+            halt 0
+        dead:
+            trap 1
+        .entry start
+        """)
+        report = measure(model, image, result.visited_pcs)
+        assert report.block_ratio < 1.0
+        assert report.uncovered_blocks()
+
+    def test_coverage_not_collected_by_default(self):
+        model, image, result = explore(
+            "rv32", kernel="password", secret=b"x",
+            config=EngineConfig())
+        assert result.visited_pcs == set()
+
+    def test_dynamic_only_addresses(self):
+        # An indirect jump the static CFG cannot follow: the executed
+        # target shows up as dynamic-only coverage.
+        model, image, result = explore("rv32", source="""
+        .org 0x1000
+        start:
+            lui x1, 1
+            addi x1, x1, 0x100
+            jalr x0, 0(x1)
+        .org 0x1100
+            halt 0
+        .entry start
+        """)
+        report = measure(model, image, result.visited_pcs)
+        assert 0x1100 in report.dynamic_only
+
+    def test_summary_text(self):
+        model, image, result = explore("rv32", kernel="password",
+                                       secret=b"q")
+        report = measure(model, image, result.visited_pcs)
+        assert "blocks" in report.summary()
+
+
+class TestTracer:
+    def test_trace_records_register_writes(self):
+        model = build("rv32")
+        image = assemble(model, """
+        .org 0x1000
+        addi x1, x0, 7
+        addi x2, x1, 1
+        halt 0
+        """, base=0x1000)
+        tracer = trace_run(model, image)
+        assert len(tracer.entries) == 3
+        first = tracer.entries[0]
+        assert first.address == 0x1000
+        assert first.text.startswith("addi")
+        assert ("x1", 0, 7) in first.reg_writes
+
+    def test_trace_records_stores_and_output(self):
+        model = build("rv32")
+        image = assemble(model, """
+        .org 0x1000
+        addi x1, x0, 65
+        lui x2, 1
+        sb x1, 0x200(x2)
+        outb x1
+        halt 0
+        """, base=0x1000)
+        tracer = trace_run(model, image)
+        store_entry = tracer.entries[2]
+        assert (0x1200, 65) in store_entry.stores
+        out_entry = tracer.entries[3]
+        assert out_entry.output == [65]
+
+    def test_trace_replays_solver_input(self):
+        model, image = build_kernel("password", "rv32", secret=b"go")
+        engine = Engine(model)
+        engine.load_image(image)
+        defect = engine.explore().first_defect(core.TRAP)
+        tracer = trace_run(model, image, input_bytes=defect.input_bytes)
+        assert tracer.simulator.trapped
+        assert "trap" in tracer.entries[-1].text
+
+    def test_format_with_limit(self):
+        model = build("rv32")
+        image = assemble(model, ".org 0x1000\n" + "addi x1, x1, 1\n" * 5
+                         + "halt 0", base=0x1000)
+        tracer = trace_run(model, image)
+        text = tracer.format(limit=2)
+        assert "more" in text
+
+    def test_max_steps_bound(self):
+        model = build("rv32")
+        image = assemble(model, ".org 0x1000\nloop: jal x0, loop",
+                         base=0x1000)
+        tracer = trace_run(model, image, max_steps=7)
+        assert len(tracer.entries) == 7
+
+
+class TestTaintedControl:
+    SOURCE = """
+    .org 0x1000
+    start:
+        inb x1
+        andi x1, x1, 4
+        lui x2, 1
+        addi x2, x2, 0x100
+        add x2, x2, x1
+        jalr x0, 0(x2)
+    .org 0x1100
+        halt 1
+        halt 2
+    .entry start
+    """
+
+    def test_input_dependent_target_reported(self):
+        model, image, result = explore(
+            "rv32", source=self.SOURCE,
+            config=EngineConfig(check_tainted_control=True))
+        defect = result.first_defect(core.TAINTED_CONTROL)
+        assert defect is not None
+        # Exploration still continues past the report.
+        assert {p.exit_code for p in result.paths} == {1, 2}
+
+    def test_disabled_by_default(self):
+        model, image, result = explore("rv32", source=self.SOURCE)
+        assert result.first_defect(core.TAINTED_CONTROL) is None
+
+    def test_clean_indirect_jump_not_reported(self):
+        model, image, result = explore("rv32", source="""
+        .org 0x1000
+        start:
+            jal x1, fn
+            halt 0
+        fn: jalr x0, 0(x1)
+        .entry start
+        """, config=EngineConfig(check_tainted_control=True))
+        assert result.first_defect(core.TAINTED_CONTROL) is None
+
+
+class TestDispatcherKernel:
+    @pytest.mark.parametrize("target", ["rv32", "vlx"])
+    def test_trap_found_and_replayed(self, target):
+        from repro.isa import run_image
+        model, image = build_kernel("dispatcher", target, rounds=2,
+                                    magic=0x31)
+        engine = Engine(model)
+        engine.load_image(image)
+        defect = engine.explore().first_defect(core.TRAP)
+        assert defect is not None
+        sim = run_image(model, image, input_bytes=defect.input_bytes)
+        assert sim.trapped
+
+    def test_trap_needs_handler3_and_magic(self):
+        model, image = build_kernel("dispatcher", "rv32", rounds=2,
+                                    magic=0x31)
+        engine = Engine(model)
+        engine.load_image(image)
+        defect = engine.explore().first_defect(core.TRAP)
+        assert defect.input_bytes[0] & 3 == 3       # reached handler 3
+        assert 0x31 in defect.input_bytes            # supplied the magic

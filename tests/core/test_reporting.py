@@ -1,0 +1,55 @@
+"""Unit tests for defect/path reporting containers."""
+
+from repro.core.reporting import (
+    DIV_BY_ZERO,
+    TRAP,
+    Defect,
+    ExplorationResult,
+    PathResult,
+)
+
+
+def make_defect(kind=TRAP, pc=0x1000):
+    return Defect(kind, pc, "trap", "msg", b"\x01", {"in_0": 1}, 7, 3)
+
+
+class TestDefect:
+    def test_fields(self):
+        defect = make_defect()
+        assert defect.kind == TRAP
+        assert defect.pc == 0x1000
+        assert defect.input_bytes == b"\x01"
+
+    def test_repr(self):
+        assert "reachable-trap" in repr(make_defect())
+
+
+class TestExplorationResult:
+    def test_defects_by_kind(self):
+        result = ExplorationResult()
+        result.defects.append(make_defect(TRAP))
+        result.defects.append(make_defect(DIV_BY_ZERO))
+        result.defects.append(make_defect(TRAP, pc=0x2000))
+        grouped = result.defects_by_kind()
+        assert len(grouped[TRAP]) == 2
+        assert len(grouped[DIV_BY_ZERO]) == 1
+
+    def test_first_defect_filters(self):
+        result = ExplorationResult()
+        result.defects.append(make_defect(DIV_BY_ZERO))
+        result.defects.append(make_defect(TRAP))
+        assert result.first_defect().kind == DIV_BY_ZERO
+        assert result.first_defect(TRAP).kind == TRAP
+        assert result.first_defect("nothing") is None
+
+    def test_summary_mentions_counts_and_defects(self):
+        result = ExplorationResult()
+        result.defects.append(make_defect())
+        result.paths.append(PathResult("halted", None, b"", 0))
+        text = result.summary()
+        assert "paths=1" in text
+        assert "reachable-trap" in text
+
+    def test_path_result_repr(self):
+        path = PathResult("halted", None, b"ab", 3)
+        assert "halted" in repr(path)

@@ -1,0 +1,85 @@
+"""Cross-ISA consistency (the Figure 3 experiment as a test).
+
+The same portable defect program runs on every ISA.  An input that
+triggers the defect on ISA A must trigger the *same defect class* when
+replayed on every other ISA — the defects are input-level properties of
+the program, so the generated engines must agree on them.
+"""
+
+import pytest
+
+from repro.core import Engine, EngineConfig
+from repro.core.concolic import ConcolicExplorer
+from repro.isa import assemble, build, run_image
+from repro.programs import suite
+from repro.programs.portable import lower
+
+ALL_TARGETS = ["rv32", "mips32", "armlite", "vlx", "pred32"]
+
+# Cases whose triggering input transfers verbatim across ISAs.  (All of
+# them do: the portable layer fixes buffer sizes and magic values.)
+TRANSFER_CASES = ["div_by_zero", "oob_write", "oob_read", "underflow_wrap",
+                  "off_by_one", "magic_trap", "tainted_jump"]
+
+
+def _find_input(case, target):
+    detected, result, _ = suite.run_case(case, target, "bad")
+    assert detected
+    return result.first_defect(case.defect_kind).input_bytes
+
+
+def _replay_symbolic(case, target, input_bytes):
+    """Replay an input on ``target`` concretely (with checkers) via a
+    single-run concolic execution; returns defect kinds found."""
+    model = build(target)
+    image = assemble(model, lower(case.build("bad"), target),
+                     base=suite.CODE_BASE)
+    config = EngineConfig()
+    if case.needs_uninit_check:
+        config.check_uninit = True
+    if case.needs_taint_check:
+        config.check_tainted_control = True
+    engine = Engine(model, config=config)
+    engine.load_image(image)
+    for start, size, track_uninit in case.extra_regions:
+        engine.add_region(start, size, track_uninit=track_uninit)
+    explorer = ConcolicExplorer(engine)
+    result = explorer.explore(seed=input_bytes, max_runs=1)
+    return {defect.kind for defect in result.defects}
+
+
+@pytest.mark.parametrize("case_name", TRANSFER_CASES)
+def test_triggering_inputs_transfer_across_isas(case_name):
+    case = suite.case_by_name(case_name)
+    inputs = {target: _find_input(case, target) for target in ALL_TARGETS}
+    for source in ALL_TARGETS:
+        for destination in ALL_TARGETS:
+            kinds = _replay_symbolic(case, destination, inputs[source])
+            assert case.defect_kind in kinds, (
+                "input %r found on %s does not reproduce %s on %s"
+                % (inputs[source], source, case.defect_kind, destination))
+
+
+def test_magic_trap_concrete_replay_everywhere():
+    """The trap case is also checkable on the plain simulator."""
+    case = suite.case_by_name("magic_trap")
+    trigger = _find_input(case, "rv32")
+    for target in ALL_TARGETS:
+        model = build(target)
+        image = assemble(model, lower(case.build("bad"), target),
+                         base=suite.CODE_BASE)
+        sim = run_image(model, image, input_bytes=trigger)
+        assert sim.trapped, target
+
+
+def test_outputs_agree_across_isas():
+    """Halting portable programs produce identical output bytes on all
+    ISAs under the same input."""
+    from repro.programs import build_kernel
+    for input_bytes in (b"\x00\x01\x02", b"abc", b"\xff\xfe\xfd"):
+        outputs = set()
+        for target in ALL_TARGETS:
+            model, image = build_kernel("checksum", target, length=3)
+            sim = run_image(model, image, input_bytes=input_bytes)
+            outputs.add((bytes(sim.output), sim.exit_code, sim.trapped))
+        assert len(outputs) == 1, outputs

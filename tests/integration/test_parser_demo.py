@@ -1,0 +1,102 @@
+"""Integration test for the protocol-parser case study.
+
+The engine must chain magic + type + length-bound + checksum conditions
+to reach both planted bugs, and the synthesized packets must be
+well-formed (valid magic/checksum) — i.e. real exploits, not noise.
+"""
+
+import pytest
+
+from repro import core
+from repro.core import Engine, EngineConfig
+from repro.isa import assemble, build, run_image
+from repro.programs.parser_demo import BUFFER_SIZE, MAGIC, protocol_parser
+from repro.programs.portable import lower
+from repro.programs.suite import CODE_BASE
+
+
+_CACHE = {}
+
+
+def explore(target, bad):
+    """Explorations are deterministic; cache them across the module."""
+    key = (target, bad)
+    if key not in _CACHE:
+        model = build(target)
+        image = assemble(model, lower(protocol_parser(bad), target),
+                         base=CODE_BASE)
+        engine = Engine(model, config=EngineConfig(max_states=4096))
+        engine.load_image(image)
+        _CACHE[key] = (model, image, engine.explore())
+    return _CACHE[key]
+
+
+def checksum_of(payload):
+    value = 0
+    for byte in payload:
+        value ^= byte
+    return value
+
+
+@pytest.mark.parametrize("target", ["rv32", "vlx"])
+class TestBadParser:
+    def test_both_bugs_found(self, target):
+        _, _, result = explore(target, bad=True)
+        assert result.first_defect(core.OOB_ACCESS) is not None
+        assert result.first_defect(core.DIV_BY_ZERO) is not None
+
+    def test_overflow_packet_is_well_formed(self, target):
+        _, _, result = explore(target, bad=True)
+        packet = result.first_defect(core.OOB_ACCESS).input_bytes
+        assert packet[0] == MAGIC                  # header accepted
+        assert packet[1] == 1                      # store handler
+        length = packet[2] & 31
+        assert length > BUFFER_SIZE                # overlong
+        payload = packet[3:3 + length]
+        # The OOB fires at buf[16], so at least 17 payload bytes plus the
+        # checksum were consumed and the checksum gate was passed.
+        assert packet[3 + length] == checksum_of(payload)
+
+    def test_div_zero_packet_sums_to_zero(self, target):
+        _, _, result = explore(target, bad=True)
+        packet = result.first_defect(core.DIV_BY_ZERO).input_bytes
+        assert packet[0] == MAGIC and packet[1] == 2
+        length = packet[2] & 31
+        payload = packet[3:3 + length]
+        assert sum(payload) % (1 << 16) == 0
+
+
+@pytest.mark.parametrize("target", ["rv32", "vlx"])
+class TestFixedParser:
+    def test_no_findings(self, target):
+        _, _, result = explore(target, bad=False)
+        assert not result.defects
+
+    def test_valid_echo_packet_runs_concretely(self, target):
+        model = build(target)
+        image = assemble(model, lower(protocol_parser(False), target),
+                         base=CODE_BASE)
+        payload = b"hey"
+        packet = bytes([MAGIC, 0, len(payload)]) + payload + bytes(
+            [checksum_of(payload)])
+        sim = run_image(model, image, input_bytes=packet)
+        assert sim.exit_code == 0
+        assert sim.output == payload
+
+    def test_bad_checksum_rejected(self, target):
+        model = build(target)
+        image = assemble(model, lower(protocol_parser(False), target),
+                         base=CODE_BASE)
+        packet = bytes([MAGIC, 0, 2, 1, 2, 0xFF])   # wrong checksum
+        sim = run_image(model, image, input_bytes=packet)
+        assert sim.exit_code == 1                    # rejected
+
+    def test_overlong_store_rejected(self, target):
+        model = build(target)
+        image = assemble(model, lower(protocol_parser(False), target),
+                         base=CODE_BASE)
+        payload = bytes(range(20))
+        packet = bytes([MAGIC, 1, len(payload)]) + payload + bytes(
+            [checksum_of(payload)])
+        sim = run_image(model, image, input_bytes=packet)
+        assert sim.exit_code == 1

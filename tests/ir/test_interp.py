@@ -1,0 +1,198 @@
+"""Unit tests for the concrete IR interpreter."""
+
+import pytest
+
+from repro.ir import interp
+from repro.ir import nodes as N
+
+
+class FakeMachine(interp.MachineContext):
+    """Dict-backed machine for interpreter tests."""
+
+    def __init__(self, pc=0x1000, input_bytes=b""):
+        self.regs = {}
+        self.single = {}
+        self.mem = {}
+        self.pc = pc
+        self.inputs = list(input_bytes)
+        self.outputs = []
+
+    def read_reg(self, regfile, index):
+        if index is None:
+            return self.single.get(regfile, 0)
+        return self.regs.get((regfile, index), 0)
+
+    def write_reg(self, regfile, index, value):
+        if index is None:
+            self.single[regfile] = value
+        else:
+            self.regs[(regfile, index)] = value
+
+    def load(self, addr, size):
+        value = 0
+        for i in range(size):
+            value |= self.mem.get(addr + i, 0) << (8 * i)
+        return value
+
+    def store(self, addr, value, size):
+        for i in range(size):
+            self.mem[addr + i] = (value >> (8 * i)) & 0xff
+
+    def input_byte(self):
+        return self.inputs.pop(0) if self.inputs else 0
+
+    def output_byte(self, value):
+        self.outputs.append(value)
+
+    def current_pc(self):
+        return self.pc
+
+
+def c32(value):
+    return N.Const(value, 32)
+
+
+def run(stmts, machine=None, fields=None):
+    machine = machine or FakeMachine()
+    outcome = interp.exec_block(stmts, machine, fields or {})
+    return machine, outcome
+
+
+class TestEvalExpr:
+    def _eval(self, expr, machine=None, fields=None):
+        return interp.eval_expr(expr, machine or FakeMachine(),
+                                fields or {}, {})
+
+    def test_const_field_local(self):
+        assert self._eval(c32(7)) == 7
+        assert self._eval(N.Field("imm", 12), fields={"imm": 0xabc}) == 0xabc
+
+    def test_field_masked_to_width(self):
+        assert self._eval(N.Field("imm", 4), fields={"imm": 0x1f}) == 0xf
+
+    def test_pc(self):
+        machine = FakeMachine(pc=0x2000)
+        assert self._eval(N.Pc(32), machine) == 0x2000
+
+    def test_readreg(self):
+        machine = FakeMachine()
+        machine.regs[("x", 3)] = 99
+        assert self._eval(N.ReadReg("x", c32(3), 32), machine) == 99
+
+    def test_load(self):
+        machine = FakeMachine()
+        machine.mem.update({0x100: 0x34, 0x101: 0x12})
+        assert self._eval(N.Load(c32(0x100), 2), machine) == 0x1234
+
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("add", 0xffffffff, 1, 0),
+        ("sub", 0, 1, 0xffffffff),
+        ("mul", 0x10000, 0x10000, 0),
+        ("udiv", 7, 2, 3),
+        ("udiv", 7, 0, 0xffffffff),
+        ("urem", 7, 0, 7),
+        ("sdiv", 0xfffffff9, 2, 0xfffffffd),   # -7/2 = -3
+        ("srem", 0xfffffff9, 2, 0xffffffff),   # -7%2 = -1
+        ("and", 0xff00, 0x0ff0, 0x0f00),
+        ("or", 1, 2, 3),
+        ("xor", 5, 3, 6),
+        ("shl", 1, 33, 0),
+        ("lshr", 0x80000000, 31, 1),
+        ("ashr", 0x80000000, 31, 0xffffffff),
+        ("ashr", 0x80000000, 99, 0xffffffff),
+        ("eq", 5, 5, 1),
+        ("ne", 5, 5, 0),
+        ("ult", 1, 0xffffffff, 1),
+        ("slt", 1, 0xffffffff, 0),             # 1 < -1 signed is false
+        ("sge", 0, 0x80000000, 1),
+        ("ule", 5, 5, 1),
+        ("ugt", 6, 5, 1),
+        ("uge", 5, 6, 0),
+        ("sle", 0x80000000, 0, 1),
+        ("sgt", 0, 0xffffffff, 1),
+    ])
+    def test_binops(self, op, a, b, expected):
+        width = 1 if op in N.COMPARISON_OPS else 32
+        expr = N.BinOp(op, c32(a), c32(b), width)
+        assert self._eval(expr) == expected
+
+    def test_unops(self):
+        assert self._eval(N.UnOp("not", c32(0), 32)) == 0xffffffff
+        assert self._eval(N.UnOp("neg", c32(1), 32)) == 0xffffffff
+        assert self._eval(N.UnOp("boolnot", N.Const(1, 1), 1)) == 0
+
+    def test_ext(self):
+        assert self._eval(N.Ext("zext", N.Const(0x80, 8), 32)) == 0x80
+        assert self._eval(N.Ext("sext", N.Const(0x80, 8), 32)) == 0xffffff80
+
+    def test_extract_concat(self):
+        assert self._eval(N.ExtractBits(c32(0x12345678), 23, 8)) == 0x3456
+        assert self._eval(N.ConcatBits(N.Const(0xab, 8),
+                                       N.Const(0xcd, 8))) == 0xabcd
+
+    def test_ite_takes_only_chosen_branch(self):
+        # The untaken branch would consume input; concrete eval must not.
+        machine = FakeMachine(input_bytes=b"\x55")
+        expr = N.IteExpr(N.Const(1, 1), c32(1), c32(2))
+        assert interp.eval_expr(expr, machine, {}, {}) == 1
+        assert machine.inputs == [0x55]
+
+
+class TestExecBlock:
+    def test_setlocal_then_use(self):
+        machine, _ = run([
+            N.SetLocal("t", c32(41)),
+            N.SetReg("x", c32(1), N.BinOp("add", N.Local("t", 32), c32(1),
+                                          32)),
+        ])
+        assert machine.regs[("x", 1)] == 42
+
+    def test_setpc(self):
+        _, outcome = run([N.SetPc(c32(0x3000))])
+        assert outcome.next_pc == 0x3000
+
+    def test_fall_through_has_no_next_pc(self):
+        _, outcome = run([N.SetReg("x", c32(1), c32(5))])
+        assert outcome.next_pc is None
+
+    def test_store_output(self):
+        machine, _ = run([
+            N.Store(c32(0x100), N.Const(0xbeef, 16), 2),
+            N.Output(N.Const(0x41, 8)),
+        ])
+        assert machine.mem[0x100] == 0xef and machine.mem[0x101] == 0xbe
+        assert machine.outputs == [0x41]
+
+    def test_halt_stops_block(self):
+        machine, outcome = run([
+            N.Halt(N.Const(3, 8)),
+            N.Output(N.Const(1, 8)),   # must not run
+        ])
+        assert outcome.halted and outcome.exit_code == 3
+        assert machine.outputs == []
+
+    def test_trap_stops_block(self):
+        _, outcome = run([N.Trap(N.Const(9, 8))])
+        assert outcome.trapped and outcome.trap_code == 9
+
+    def test_if_branches(self):
+        machine, _ = run([
+            N.IfStmt(N.BinOp("eq", c32(1), c32(1), 1),
+                     [N.SetReg("x", c32(1), c32(10))],
+                     [N.SetReg("x", c32(1), c32(20))]),
+        ])
+        assert machine.regs[("x", 1)] == 10
+
+    def test_halt_inside_if_stops_outer(self):
+        machine, outcome = run([
+            N.IfStmt(N.Const(1, 1), [N.Halt(N.Const(1, 8))], []),
+            N.Output(N.Const(1, 8)),
+        ])
+        assert outcome.halted
+        assert machine.outputs == []
+
+    def test_input_byte_in_assignment(self):
+        machine, _ = run([N.SetReg("x", c32(2),
+                                   N.Ext("zext", N.InputByte(), 32))],
+                         machine=FakeMachine(input_bytes=b"\x7f"))
+        assert machine.regs[("x", 2)] == 0x7f

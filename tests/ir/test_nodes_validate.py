@@ -1,0 +1,144 @@
+"""Unit tests for IR node construction and validation."""
+
+import pytest
+
+from repro.ir import IrError, count_nodes, format_block, format_expr
+from repro.ir import nodes as N
+from repro.ir import validate_block, validate_expr
+
+
+def c32(value):
+    return N.Const(value, 32)
+
+
+class TestNodeConstruction:
+    def test_const_masks(self):
+        assert N.Const(0x1_0000_0001, 32).value == 1
+
+    def test_widths(self):
+        assert N.Load(c32(0), 4).width == 32
+        assert N.ExtractBits(c32(0), 15, 8).width == 8
+        assert N.ConcatBits(c32(0), N.Const(0, 8)).width == 40
+        assert N.Ext("zext", N.Const(0, 8), 32).width == 32
+        assert N.IteExpr(N.Const(1, 1), c32(1), c32(2)).width == 32
+
+    def test_children(self):
+        binop = N.BinOp("add", c32(1), c32(2), 32)
+        assert len(binop.children()) == 2
+        assert N.Pc(32).children() == ()
+
+    def test_repr_does_not_crash(self):
+        for node in (c32(5), N.Field("rd", 5), N.Local("t", 32), N.Pc(32),
+                     N.InputByte(), N.Load(c32(0), 4),
+                     N.BinOp("add", c32(1), c32(2), 32),
+                     N.UnOp("not", c32(1), 32),
+                     N.Ext("sext", N.Const(0, 8), 32),
+                     N.ExtractBits(c32(0), 7, 0),
+                     N.ConcatBits(c32(0), c32(0)),
+                     N.IteExpr(N.Const(1, 1), c32(1), c32(2))):
+            assert repr(node)
+
+
+class TestValidateExpr:
+    def test_good_binop(self):
+        validate_expr(N.BinOp("add", c32(1), c32(2), 32))
+
+    def test_width_mismatch(self):
+        with pytest.raises(IrError):
+            validate_expr(N.BinOp("add", c32(1), N.Const(2, 16), 32))
+
+    def test_bad_result_width(self):
+        with pytest.raises(IrError):
+            validate_expr(N.BinOp("add", c32(1), c32(2), 16))
+
+    def test_comparison_result_must_be_bool(self):
+        with pytest.raises(IrError):
+            validate_expr(N.BinOp("eq", c32(1), c32(2), 32))
+        validate_expr(N.BinOp("eq", c32(1), c32(2), 1))
+
+    def test_unknown_op(self):
+        with pytest.raises(IrError):
+            validate_expr(N.BinOp("frobnicate", c32(1), c32(2), 32))
+
+    def test_boolnot_width(self):
+        with pytest.raises(IrError):
+            validate_expr(N.UnOp("boolnot", c32(1), 32))
+        validate_expr(N.UnOp("boolnot", N.Const(1, 1), 1))
+
+    def test_ext_narrowing_rejected(self):
+        with pytest.raises(IrError):
+            validate_expr(N.Ext("zext", c32(0), 16))
+
+    def test_bad_ext_kind(self):
+        with pytest.raises(IrError):
+            validate_expr(N.Ext("wext", N.Const(0, 8), 16))
+
+    def test_extract_bounds(self):
+        with pytest.raises(IrError):
+            validate_expr(N.ExtractBits(N.Const(0, 8), 8, 0))
+
+    def test_ite_condition_width(self):
+        with pytest.raises(IrError):
+            validate_expr(N.IteExpr(c32(1), c32(1), c32(2)))
+
+    def test_ite_branch_widths(self):
+        with pytest.raises(IrError):
+            validate_expr(N.IteExpr(N.Const(1, 1), c32(1), N.Const(0, 16)))
+
+    def test_load_size(self):
+        with pytest.raises(IrError):
+            validate_expr(N.Load(c32(0), 3))
+
+
+class TestValidateBlock:
+    def test_good_block(self):
+        validate_block([
+            N.SetLocal("t", c32(1)),
+            N.SetReg("x", N.Field("rd", 5), c32(0)),
+            N.SetPc(c32(0x1000)),
+            N.Store(c32(0x2000), N.Const(7, 8), 1),
+            N.Output(N.Const(65, 8)),
+            N.IfStmt(N.Const(1, 1), [N.Halt(N.Const(0, 8))],
+                     [N.Trap(N.Const(1, 8))]),
+        ])
+
+    def test_store_width_mismatch(self):
+        with pytest.raises(IrError):
+            validate_block([N.Store(c32(0), c32(0), 1)])
+
+    def test_store_bad_size(self):
+        with pytest.raises(IrError):
+            validate_block([N.Store(c32(0), N.Const(0, 24), 3)])
+
+    def test_if_condition_checked(self):
+        with pytest.raises(IrError):
+            validate_block([N.IfStmt(c32(1), [], [])])
+
+    def test_nested_bodies_checked(self):
+        with pytest.raises(IrError):
+            validate_block([N.IfStmt(N.Const(1, 1),
+                                     [N.Store(c32(0), c32(0), 1)], [])])
+
+
+class TestPrinter:
+    def test_format_expr_shapes(self):
+        expr = N.BinOp("add", N.ReadReg("x", N.Field("rs1", 5), 32),
+                       N.Ext("sext", N.Field("imm", 12), 32), 32)
+        text = format_expr(expr)
+        assert "x[$rs1]" in text and "sext" in text and "+" in text
+
+    def test_format_block_if(self):
+        block = [N.IfStmt(N.BinOp("eq", c32(0), c32(0), 1),
+                          [N.SetPc(c32(4))], [N.Halt(N.Const(0, 8))])]
+        text = format_block(block)
+        assert "if" in text and "pc =" in text and "else" in text
+
+    def test_count_nodes(self):
+        block = [N.SetReg("x", N.Field("rd", 5),
+                          N.BinOp("add", c32(1), c32(2), 32))]
+        # SetReg + Field + BinOp + 2 consts = 5
+        assert count_nodes(block) == 5
+
+    def test_count_nodes_nested_if(self):
+        block = [N.IfStmt(N.Const(1, 1), [N.Halt(N.Const(0, 8))], [])]
+        assert count_nodes(block) == 4

@@ -1,0 +1,208 @@
+"""Unit tests for the generated assembler."""
+
+import pytest
+
+from repro.isa import AsmError, assemble, build, format_instruction
+
+
+@pytest.fixture(scope="module")
+def rv32():
+    return build("rv32")
+
+
+@pytest.fixture(scope="module")
+def vlx():
+    return build("vlx")
+
+
+def asm(model, text, base=0x1000):
+    return assemble(model, ".org %#x\n%s" % (base, text), base=base)
+
+
+class TestBasicAssembly:
+    def test_single_instruction(self, rv32):
+        image = asm(rv32, "addi x1, x0, 5")
+        assert len(image.data) == 4
+        decoded = rv32.decoder.decode_bytes(bytes(image.data), 0x1000)
+        assert decoded.instruction.name == "addi"
+        assert decoded.fields["imm"] == 5
+
+    def test_register_aliases(self, rv32):
+        image = asm(rv32, "addi sp, sp, -16")
+        decoded = rv32.decoder.decode_bytes(bytes(image.data), 0x1000)
+        assert decoded.fields["rd"] == 2 and decoded.fields["rs1"] == 2
+
+    def test_negative_immediate(self, rv32):
+        image = asm(rv32, "addi x1, x0, -5")
+        decoded = rv32.decoder.decode_bytes(bytes(image.data), 0x1000)
+        assert decoded.fields["imm"] == 0xffb
+
+    def test_hex_and_char_immediates(self, rv32):
+        image = asm(rv32, "addi x1, x0, 0x41\naddi x2, x0, 'A'")
+        first = rv32.decoder.decode_bytes(bytes(image.data[:4]), 0x1000)
+        second = rv32.decoder.decode_bytes(bytes(image.data[4:]), 0x1004)
+        assert first.fields["imm"] == second.fields["imm"] == 0x41
+
+    def test_memory_operand_syntax(self, rv32):
+        image = asm(rv32, "lw x1, -4(x2)")
+        decoded = rv32.decoder.decode_bytes(bytes(image.data), 0x1000)
+        assert decoded.instruction.name == "lw"
+        assert decoded.fields["imm"] == 0xffc
+
+    def test_unknown_mnemonic(self, rv32):
+        with pytest.raises(AsmError):
+            asm(rv32, "frobnicate x1")
+
+    def test_wrong_operand_shape(self, rv32):
+        with pytest.raises(AsmError):
+            asm(rv32, "add x1, x2")          # missing operand
+        with pytest.raises(AsmError):
+            asm(rv32, "add x1, x2, 5")       # immediate where reg expected
+
+    def test_wrong_regfile_rejected(self, vlx):
+        with pytest.raises(AsmError):
+            asm(vlx, "mov r1, x2")
+
+    def test_immediate_range_checked(self, rv32):
+        with pytest.raises(AsmError):
+            asm(rv32, "addi x1, x0, 4096")   # 12-bit field
+        with pytest.raises(AsmError):
+            asm(rv32, "addi x1, x0, -2049")
+
+
+class TestLabelsAndBranches:
+    def test_backward_branch(self, rv32):
+        image = asm(rv32, "top:\naddi x1, x1, 1\nbne x1, x2, top")
+        decoded = rv32.decoder.decode_bytes(bytes(image.data[4:]), 0x1004)
+        assert decoded.fields["off"] == (-4) & 0x1fff
+
+    def test_forward_branch(self, rv32):
+        image = asm(rv32, "beq x1, x2, skip\naddi x1, x1, 1\nskip: halt 0")
+        decoded = rv32.decoder.decode_bytes(bytes(image.data[:4]), 0x1000)
+        assert decoded.fields["off"] == 8
+
+    def test_undefined_label(self, rv32):
+        with pytest.raises(AsmError):
+            asm(rv32, "beq x1, x2, nowhere")
+
+    def test_duplicate_label(self, rv32):
+        with pytest.raises(AsmError):
+            asm(rv32, "a:\na:\nhalt 0")
+
+    def test_misaligned_branch_target_rejected(self, rv32):
+        # rv32 branch offsets must be even (trailing zero bit).
+        with pytest.raises(AsmError):
+            asm(rv32, "beq x1, x2, 3")
+
+    def test_branch_range_checked(self, rv32):
+        source = "beq x1, x2, far\n" + ".space 5000\n" + "far: halt 0"
+        with pytest.raises(AsmError):
+            asm(rv32, source)
+
+    def test_entry_directive(self, rv32):
+        image = asm(rv32, ".entry main\nnoplike: addi x0, x0, 0\nmain: halt 0")
+        assert image.entry == 0x1004
+
+    def test_undefined_entry_rejected(self, rv32):
+        with pytest.raises(AsmError):
+            asm(rv32, ".entry nowhere\nhalt 0")
+
+    def test_pcrel_base_mips(self):
+        mips = build("mips32")
+        image = assemble(mips, """
+        .org 0x1000
+        top:
+            addiu r1, r1, 1
+            bne r1, r2, top
+        """, base=0x1000)
+        decoded = mips.decoder.decode_bytes(bytes(image.data[4:]), 0x1004)
+        # encoded = target - (insn + 4) = 0x1000 - 0x1008 = -8
+        assert decoded.fields["off"] == (-8) & 0x3ffff
+
+
+class TestDirectives:
+    def test_byte_half_word(self, rv32):
+        image = asm(rv32, ".byte 1, 2\n.half 0x0304\n.word 0x05060708")
+        assert bytes(image.data) == b"\x01\x02\x04\x03\x08\x07\x06\x05"
+
+    def test_word_is_big_endian_on_mips(self):
+        mips = build("mips32")
+        image = assemble(mips, ".org 0x1000\n.word 0x01020304", base=0x1000)
+        assert bytes(image.data) == b"\x01\x02\x03\x04"
+
+    def test_ascii_and_asciiz(self, rv32):
+        image = asm(rv32, '.ascii "ab"\n.asciiz "cd"')
+        assert bytes(image.data) == b"abcd\x00"
+
+    def test_string_with_comment_chars_inside(self, rv32):
+        image = asm(rv32, '.ascii "a#b"  # real comment')
+        assert bytes(image.data) == b"a#b"
+
+    def test_space_and_align(self, rv32):
+        image = asm(rv32, ".byte 1\n.align 4\n.byte 2")
+        assert bytes(image.data) == b"\x01\x00\x00\x00\x02"
+
+    def test_equ_constants(self, rv32):
+        image = asm(rv32, ".equ MAGIC, 42\naddi x1, x0, MAGIC")
+        decoded = rv32.decoder.decode_bytes(bytes(image.data), 0x1000)
+        assert decoded.fields["imm"] == 42
+
+    def test_word_with_label_value(self, rv32):
+        image = asm(rv32, "here: .word here")
+        assert int.from_bytes(bytes(image.data), "little") == 0x1000
+
+    def test_org_gap_zero_filled(self, rv32):
+        image = asm(rv32, ".byte 1\n.org 0x1008\n.byte 2")
+        assert bytes(image.data) == b"\x01" + b"\x00" * 7 + b"\x02"
+
+    def test_org_below_base_moves_image(self, rv32):
+        image = assemble(rv32, ".org 0x800\n.byte 9", base=0x1000)
+        assert image.base == 0x800
+        assert image.data[0] == 9
+
+    def test_unknown_directive(self, rv32):
+        with pytest.raises(AsmError):
+            asm(rv32, ".bogus 1")
+
+    def test_error_carries_line_number(self, rv32):
+        with pytest.raises(AsmError) as err:
+            asm(rv32, "addi x1, x0, 0\nbadmnemonic x1")
+        assert err.value.line == 3   # .org line is line 1
+
+
+class TestRoundTrip:
+    """assemble -> decode -> disassemble -> assemble must be stable."""
+
+    @pytest.mark.parametrize("target", ["rv32", "mips32", "armlite", "vlx", "pred32"])
+    def test_every_instruction_roundtrips(self, target):
+        model = build(target)
+        for instr in model.instructions:
+            source = _render_sample(model, instr)
+            if source is None:
+                continue
+            image = assemble(model, ".org 0x1000\n" + source, base=0x1000)
+            window = bytes(image.data) + b"\x00" * 8
+            decoded = model.decoder.decode_bytes(window, 0x1000)
+            assert decoded.instruction.name == instr.name, source
+            text = format_instruction(model, decoded)
+            image2 = assemble(model, ".org 0x1000\n" + text, base=0x1000)
+            assert image2.data == image.data, (source, text)
+
+
+def _render_sample(model, instr):
+    """Produce one sample assembly line for an instruction definition."""
+    from repro.adl.analyze import syntax_placeholders
+    text = instr.syntax
+    for name, kind in syntax_placeholders(text):
+        placeholder = "{%s}" % name if kind is None else "{%s:%s}" % (name,
+                                                                      kind)
+        if kind is not None:
+            value = model.regfiles[kind].register_name(1)
+        else:
+            operand = instr.operands.get(name)
+            if operand is not None and operand.pcrel:
+                value = "0x1000"     # branch to self
+            else:
+                value = "4" if operand is None or not operand.signed else "4"
+        text = text.replace(placeholder, str(value))
+    return text

@@ -1,0 +1,171 @@
+"""Tests for static CFG recovery."""
+
+import pytest
+
+from repro.isa import assemble, build
+from repro.isa.cfg import (
+    BRANCH,
+    FALL_THROUGH,
+    HALT,
+    INDIRECT,
+    JUMP,
+    TRAP,
+    recover_cfg,
+    static_successors,
+)
+
+
+def cfg_for(target, source):
+    model = build(target)
+    image = assemble(model, source, base=0x1000)
+    return model, image, recover_cfg(model, image)
+
+
+class TestStaticSuccessors:
+    def _decode(self, model, image, addr):
+        offset = addr - image.base
+        window = bytes(image.data[offset:offset + 4]) + b"\x00" * 4
+        return model.decoder.decode_bytes(window, addr)
+
+    def test_fall_through_only(self):
+        model, image, _ = cfg_for("rv32", ".org 0x1000\naddi x1, x0, 1")
+        decoded = self._decode(model, image, 0x1000)
+        assert static_successors(model, decoded) == [(0x1004, FALL_THROUGH)]
+
+    def test_conditional_branch_two_targets(self):
+        model, image, _ = cfg_for("rv32", """
+        .org 0x1000
+        beq x1, x2, 0x1010
+        """)
+        decoded = self._decode(model, image, 0x1000)
+        succs = static_successors(model, decoded)
+        assert (0x1010, BRANCH) in succs
+        assert (0x1004, FALL_THROUGH) in succs
+
+    def test_unconditional_jump_single_target(self):
+        model, image, _ = cfg_for("rv32", """
+        .org 0x1000
+        jal x0, 0x1020
+        """)
+        decoded = self._decode(model, image, 0x1000)
+        succs = static_successors(model, decoded)
+        assert succs == [(0x1020, JUMP)]
+
+    def test_indirect_jump(self):
+        model, image, _ = cfg_for("rv32", """
+        .org 0x1000
+        jalr x0, 0(x1)
+        """)
+        decoded = self._decode(model, image, 0x1000)
+        assert static_successors(model, decoded) == [(None, INDIRECT)]
+
+    def test_halt_and_trap(self):
+        model, image, _ = cfg_for("rv32", ".org 0x1000\nhalt 0\ntrap 1")
+        first = self._decode(model, image, 0x1000)
+        second = self._decode(model, image, 0x1004)
+        assert static_successors(model, first) == [(None, HALT)]
+        assert static_successors(model, second) == [(None, TRAP)]
+
+    def test_mips_branch_pcrel_base(self):
+        model, image, _ = cfg_for("mips32", """
+        .org 0x1000
+        top: bne r1, r2, top
+        """)
+        decoded = model.decoder.decode_bytes(bytes(image.data), 0x1000)
+        succs = static_successors(model, decoded)
+        assert (0x1000, BRANCH) in succs        # pc+4+off == top
+        assert (0x1004, FALL_THROUGH) in succs
+
+
+class TestRecoverCfg:
+    DIAMOND = """
+    .org 0x1000
+    start:
+        inb x1
+        beq x1, x0, left
+        addi x2, x0, 1
+        jal x0, join
+    left:
+        addi x2, x0, 2
+    join:
+        outb x2
+        halt 0
+    .entry start
+    """
+
+    def test_diamond_block_structure(self):
+        _, _, cfg = cfg_for("rv32", self.DIAMOND)
+        assert cfg.block_count == 4
+        assert cfg.entry == 0x1000
+        entry_block = cfg.blocks[0x1000]
+        targets = {t for t, _k in entry_block.successors}
+        assert len(targets) == 2
+
+    def test_all_instructions_discovered(self):
+        _, _, cfg = cfg_for("rv32", self.DIAMOND)
+        assert len(cfg.instruction_addresses) == 7
+
+    def test_block_of(self):
+        _, _, cfg = cfg_for("rv32", self.DIAMOND)
+        assert cfg.block_of(0x1004).start == 0x1000
+        assert cfg.block_of(0x9999) is None
+
+    def test_loop_back_edge(self):
+        _, _, cfg = cfg_for("rv32", """
+        .org 0x1000
+        start:
+            addi x1, x1, 1
+        loop:
+            addi x2, x2, 1
+            bne x2, x3, loop
+            halt 0
+        .entry start
+        """)
+        loop_block = cfg.blocks[0x1004]
+        assert (0x1004, BRANCH) in loop_block.successors
+
+    def test_unreachable_code_not_included(self):
+        _, _, cfg = cfg_for("rv32", """
+        .org 0x1000
+        start:
+            halt 0
+            addi x1, x0, 1     # dead
+        .entry start
+        """)
+        assert 0x1004 not in cfg.instruction_addresses
+
+    def test_indirect_flagged(self):
+        _, _, cfg = cfg_for("rv32", """
+        .org 0x1000
+        jalr x0, 0(x5)
+        """)
+        assert cfg.has_indirect
+
+    def test_data_in_code_does_not_crash(self):
+        _, _, cfg = cfg_for("rv32", """
+        .org 0x1000
+        jal x0, next
+        .word 0xffffffff
+        next: halt 0
+        """)
+        # The bad word is skipped (jumped over); recovery succeeds.
+        assert 0x1008 in cfg.instruction_addresses
+
+    @pytest.mark.parametrize("target", ["rv32", "mips32", "armlite", "vlx", "pred32"])
+    def test_kernels_recover_everywhere(self, target):
+        from repro.programs import build_kernel
+        model, image = build_kernel("bsearch", target)
+        cfg = recover_cfg(model, image)
+        assert cfg.block_count >= 5
+        assert cfg.edge_count >= cfg.block_count
+
+    def test_risc_isas_share_cfg_shape(self):
+        """Same portable program, same CFG shape across one-to-one
+        lowered ISAs (vlx differs: branch lowering adds jump blocks)."""
+        from repro.programs import build_kernel
+        shapes = set()
+        for target in ("rv32", "mips32", "armlite"):
+            model, image = build_kernel("bsearch", target)
+            cfg = recover_cfg(model, image)
+            shapes.add((cfg.block_count, cfg.edge_count))
+        assert len(shapes) == 1

@@ -1,0 +1,109 @@
+"""Unit tests for the generated decoder (incl. variable-length decode)."""
+
+import pytest
+
+from repro.isa import build
+from repro.isa.decoder import DecodeError
+
+
+class TestRv32Decode:
+    def setup_method(self):
+        self.model = build("rv32")
+
+    def _decode(self, word):
+        return self.model.decoder.decode_bytes(
+            word.to_bytes(4, "little"), 0x1000)
+
+    def test_add(self):
+        # add x3, x1, x2 = funct7=0 rs2=2 rs1=1 funct3=0 rd=3 op=0x33
+        word = (2 << 20) | (1 << 15) | (3 << 7) | 0x33
+        decoded = self._decode(word)
+        assert decoded.instruction.name == "add"
+        assert decoded.fields["rd"] == 3
+        assert decoded.fields["rs1"] == 1
+        assert decoded.fields["rs2"] == 2
+
+    def test_sub_distinguished_by_funct7(self):
+        word = (0x20 << 25) | (2 << 20) | (1 << 15) | (3 << 7) | 0x33
+        assert self._decode(word).instruction.name == "sub"
+
+    def test_invalid_raises_with_address(self):
+        with pytest.raises(DecodeError) as err:
+            self._decode(0xffffffff)
+        assert err.value.address == 0x1000
+
+    def test_branch_operand_derived(self):
+        # beq x1, x2, +8: immhi:immlo:0 == 8 -> immlo = 4
+        word = (2 << 20) | (1 << 15) | (4 << 7) | 0x63
+        decoded = self._decode(word)
+        assert decoded.instruction.name == "beq"
+        assert decoded.fields["off"] == 8
+
+    def test_decode_cache_hit(self):
+        word = (2 << 20) | (1 << 15) | (3 << 7) | 0x33
+        data = word.to_bytes(4, "little")
+        first = self.model.decoder.decode_bytes(data, 0x1000)
+        second = self.model.decoder.decode_bytes(data, 0x1000)
+        assert first is second
+
+    def test_cache_clear(self):
+        self.model.decoder.cache_clear()
+        word = (2 << 20) | (1 << 15) | (3 << 7) | 0x33
+        assert self.model.decoder.decode_bytes(
+            word.to_bytes(4, "little"), 0).instruction.name == "add"
+
+
+class TestVariableLength:
+    def setup_method(self):
+        self.model = build("vlx")
+
+    def test_one_byte(self):
+        decoded = self.model.decoder.decode_bytes(b"\x00\xff\xff\xff", 0)
+        assert decoded.instruction.name == "nop"
+        assert decoded.length == 1
+
+    def test_two_bytes(self):
+        # mov r1, r2: op=0x10, byte2 = a:4 b:4 = 0x12
+        decoded = self.model.decoder.decode_bytes(b"\x10\x12\xff\xff", 0)
+        assert decoded.instruction.name == "mov"
+        assert decoded.length == 2
+        assert decoded.fields["a"] == 1 and decoded.fields["b"] == 2
+
+    def test_three_bytes(self):
+        # beq r1, r2, off=4: op=0x42, a/b byte, off byte
+        decoded = self.model.decoder.decode_bytes(b"\x42\x12\x04\xff", 0)
+        assert decoded.instruction.name == "beq"
+        assert decoded.length == 3
+        assert decoded.fields["boff"] == 4
+
+    def test_four_bytes(self):
+        # ldi r3, 0x1234: op=0x20, reg byte (z:4 rr:4 -> rr low nibble of
+        # the second byte? fields: imm:16 z:4 rr:4 op:8, little endian)
+        word = (0x1234 << 16) | (3 << 8) | 0x20
+        decoded = self.model.decoder.decode_bytes(
+            word.to_bytes(4, "little"), 0)
+        assert decoded.instruction.name == "ldi"
+        assert decoded.length == 4
+        assert decoded.fields["rr"] == 3
+        assert decoded.fields["imm"] == 0x1234
+
+    def test_short_window_still_decodes_short_instruction(self):
+        decoded = self.model.decoder.decode_bytes(b"\x00", 0)
+        assert decoded.instruction.name == "nop"
+
+    def test_short_window_cannot_decode_long_instruction(self):
+        with pytest.raises(DecodeError):
+            self.model.decoder.decode_bytes(b"\x20\x03", 0)  # ldi needs 4
+
+    def test_max_length(self):
+        assert self.model.decoder.max_length == 4
+
+
+class TestBigEndianDecode:
+    def test_mips_addu(self):
+        model = build("mips32")
+        # addu r3, r1, r2: op=0 rs=1 rt=2 rd=3 shamt=0 funct=0x21
+        word = (1 << 21) | (2 << 16) | (3 << 11) | 0x21
+        decoded = model.decoder.decode_bytes(word.to_bytes(4, "big"), 0)
+        assert decoded.instruction.name == "addu"
+        assert decoded.fields["rd"] == 3

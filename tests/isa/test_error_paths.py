@@ -1,0 +1,131 @@
+"""Error-path and small-API tests across the ISA layer."""
+
+import pytest
+
+from repro.adl import AdlError, builtin_spec_path
+from repro.isa import AsmError, Image, assemble, build
+from repro.isa.decoder import DecodeError
+
+
+@pytest.fixture(scope="module")
+def rv32():
+    return build("rv32")
+
+
+class TestAdlLookup:
+    def test_unknown_builtin_spec(self):
+        with pytest.raises(AdlError) as err:
+            builtin_spec_path("z80")
+        assert "rv32" in str(err.value)   # lists the available specs
+
+    def test_builtin_spec_path_exists(self):
+        import os
+        assert os.path.exists(builtin_spec_path("rv32"))
+
+
+class TestImageApi:
+    def test_emit_patch_contains(self):
+        image = Image(0x100)
+        image.emit(b"\x01\x02\x03")
+        assert image.end == 0x103
+        assert 0x100 in image and 0x102 in image and 0x103 not in image
+        image.patch(0x101, b"\xff")
+        assert bytes(image.data) == b"\x01\xff\x03"
+
+    def test_default_entry_is_base(self, rv32):
+        image = assemble(rv32, ".org 0x1000\nhalt 0", base=0x1000)
+        assert image.entry == 0x1000
+
+
+class TestAssemblerDiagnostics:
+    CASES = [
+        ("frobnicate x1", "unknown mnemonic"),
+        ("add x1, x2", "no operand form"),
+        ("addi x1, x0, 99999", "does not fit"),
+        ("beq x1, x2, 0x100001", "out of range"),
+        (".bogus 3", "unknown directive"),
+        (".org zzz", "expected an integer"),
+        ("lw x1, 0(y9)", "no operand form"),
+        ('.ascii bad', "quoted string"),
+        ("beq x1, x2, missing_label", "undefined label"),
+    ]
+
+    @pytest.mark.parametrize("line,fragment", CASES)
+    def test_message_content(self, rv32, line, fragment):
+        with pytest.raises(AsmError) as err:
+            assemble(rv32, ".org 0x1000\n" + line, base=0x1000)
+        assert fragment in str(err.value)
+
+    def test_line_numbers_reported(self, rv32):
+        source = ".org 0x1000\naddi x1, x0, 1\naddi x2, x0, 1\nbroken!"
+        with pytest.raises(AsmError) as err:
+            assemble(rv32, source, base=0x1000)
+        assert err.value.line == 4
+
+    def test_operand_alignment_message(self, rv32):
+        with pytest.raises(AsmError) as err:
+            assemble(rv32, ".org 0x1000\nx: beq x1, x2, 0x1001",
+                     base=0x1000)
+        assert "multiple of" in str(err.value)
+
+
+class TestDecoderErrors:
+    def test_error_carries_address(self, rv32):
+        with pytest.raises(DecodeError) as err:
+            rv32.decoder.decode_bytes(b"\xff\xff\xff\xff", 0x4242)
+        assert err.value.address == 0x4242
+        assert "0x4242" in str(err.value)
+
+    def test_empty_window(self, rv32):
+        with pytest.raises(DecodeError):
+            rv32.decoder.decode_bytes(b"", 0)
+
+    def test_vlx_register_field_out_of_range(self):
+        vlx = build("vlx")
+        # mov with b-field = 9 (> 7): opcode 0x10, second byte 0x19.
+        with pytest.raises(DecodeError) as err:
+            vlx.decoder.decode_bytes(b"\x10\x19", 0)
+        assert "register index" in str(err.value)
+
+
+class TestModelApi:
+    def test_register_name_rendering(self, rv32):
+        assert rv32.regfiles["x"].register_name(7) == "x7"
+
+    def test_repr_smoke(self, rv32):
+        assert "rv32" in repr(rv32)
+        assert "add" in repr(rv32.by_name["add"])
+
+    def test_bind_includes_operands(self, rv32):
+        beq = rv32.by_name["beq"]
+        word = beq.assemble_word({"rs1": 1, "rs2": 2, "immhi": 0,
+                                  "immlo": 4})
+        bound = beq.bind(word)
+        assert "off" in bound and bound["off"] == 8
+
+
+class TestEngineConfigPaths:
+    def test_no_path_inputs_collected(self):
+        from repro.core import Engine, EngineConfig
+        model = build("rv32")
+        image = assemble(model, """
+        .org 0x1000
+        inb x1
+        beq x1, x0, a
+        halt 1
+        a: halt 2
+        """, base=0x1000)
+        engine = Engine(model,
+                        config=EngineConfig(collect_path_inputs=False))
+        engine.load_image(image)
+        result = engine.explore()
+        assert all(p.input_bytes == b"" for p in result.paths)
+
+    def test_flat_memory_config(self):
+        from repro.core import Engine, EngineConfig
+        model = build("rv32")
+        image = assemble(model, ".org 0x1000\nhalt 0", base=0x1000)
+        engine = Engine(model, config=EngineConfig(cow_memory=False))
+        engine.load_image(image)
+        result = engine.explore()
+        assert len(result.paths) == 1

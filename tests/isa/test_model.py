@@ -1,0 +1,118 @@
+"""Unit tests for generated ISA models (field/operand binding, encoding)."""
+
+import pytest
+
+from repro.adl.analyze import analyze
+from repro.adl.parser import parse_spec
+from repro.isa.model import ArchModel, build
+
+TOY = """
+architecture toy {
+  wordsize 16
+  endian little
+  regfile r[4] width 16 zero 0
+  pc width 16
+  alias acc = r[1]
+  encoding e { imm:4 b:4 op:8 }
+  instruction addi {
+    encoding e
+    match op = 1
+    syntax "addi {b:r}, {imm}"
+    semantics { r[b] = r[b] + zext(imm, 16); }
+  }
+  instruction br {
+    encoding e
+    match op = 2
+    operand off = imm :: b :: 0[1] signed pcrel
+    syntax "br {off}"
+    semantics { pc = pc + sext(off, 16); }
+  }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def toy_model():
+    return ArchModel(analyze(parse_spec(TOY)))
+
+
+class TestModelStructure:
+    def test_register_names_include_aliases(self, toy_model):
+        assert toy_model.register_names["r2"] == ("r", 2)
+        assert toy_model.register_names["acc"] == ("r", 1)
+
+    def test_zero_register_recorded(self, toy_model):
+        assert toy_model.regfiles["r"].zero_index == 0
+
+    def test_instruction_lookup(self, toy_model):
+        assert toy_model.by_name["addi"].mnemonic == "addi"
+
+    def test_lengths(self, toy_model):
+        assert toy_model.instruction_lengths == [2]
+
+    def test_mnemonic_candidates(self, toy_model):
+        assert len(toy_model.mnemonic_candidates("addi")) == 1
+        assert toy_model.mnemonic_candidates("nosuch") == []
+
+    def test_semantics_translated(self, toy_model):
+        assert toy_model.by_name["addi"].semantics
+
+
+class TestFieldBinding:
+    def test_extract_fields(self, toy_model):
+        instr = toy_model.by_name["addi"]
+        # imm at bits [15:12], b at [11:8], op at [7:0]
+        fields = instr.extract_fields(0x5301)
+        assert fields == {"imm": 5, "b": 3, "op": 1}
+
+    def test_operand_value_concatenates(self, toy_model):
+        instr = toy_model.by_name["br"]
+        fields = instr.extract_fields(0x2102)   # imm=2, b=1
+        bound = instr.bind(0x2102)
+        # off = imm(4) :: b(4) :: 0 -> (2 << 5) | (1 << 1) = 66
+        assert bound["off"] == (2 << 5) | (1 << 1)
+        assert fields["op"] == 2
+
+    def test_encode_operand_roundtrip(self, toy_model):
+        instr = toy_model.by_name["br"]
+        operand = instr.operands["off"]
+        fields = {}
+        instr.encode_operand(operand, 66, fields)
+        assert fields == {"imm": 2, "b": 1}
+
+    def test_assemble_word(self, toy_model):
+        instr = toy_model.by_name["addi"]
+        word = instr.assemble_word({"imm": 5, "b": 3})
+        assert word == 0x5301
+        assert instr.extract_fields(word) == {"imm": 5, "b": 3, "op": 1}
+
+
+class TestByteOrder:
+    def test_little_endian_words(self, toy_model):
+        assert toy_model.bytes_from_word(0x1234, 2) == b"\x34\x12"
+        assert toy_model.word_from_bytes(b"\x34\x12") == 0x1234
+
+    def test_big_endian_words(self):
+        model = build("mips32")
+        assert model.bytes_from_word(0x12345678, 4) == b"\x12\x34\x56\x78"
+
+
+class TestBuiltinModels:
+    @pytest.mark.parametrize("name,expect_endian,expect_lengths", [
+        ("rv32", "little", [4]),
+        ("mips32", "big", [4]),
+        ("armlite", "little", [4]),
+        ("vlx", "little", [1, 2, 3, 4]),
+        ("pred32", "little", [4]),
+    ])
+    def test_builds(self, name, expect_endian, expect_lengths):
+        model = build(name)
+        assert model.endian == expect_endian
+        assert model.instruction_lengths == expect_lengths
+        assert len(model.instructions) >= 28
+
+    def test_build_caches(self):
+        assert build("rv32") is build("rv32")
+
+    def test_build_fresh(self):
+        assert build("rv32", fresh=True) is not build("rv32")

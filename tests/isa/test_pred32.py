@@ -1,0 +1,138 @@
+"""pred32-specific semantics tests: predicated execution corner cases."""
+
+import pytest
+
+from repro import core
+from repro.core import Engine
+from repro.isa import assemble, build, run_image
+
+
+def run(source, input_bytes=b""):
+    model = build("pred32")
+    image = assemble(model, source, base=0x1000)
+    return run_image(model, image, input_bytes=input_bytes)
+
+
+class TestPredicates:
+    def test_always_predicate(self):
+        sim = run("""
+        .org 0x1000
+        movi 0, r1, 42
+        halt 0
+        """)
+        assert sim.state.read_reg("r", 1) == 42
+
+    @pytest.mark.parametrize("pd,z_expected", [(1, 7), (2, 0)])
+    def test_z_predicates(self, pd, z_expected):
+        sim = run("""
+        .org 0x1000
+        movi 0, r1, 5
+        movi 0, r2, 5
+        cmp r1, r2          # Z=1
+        movi %d, r3, 7
+        halt 0
+        """ % pd)
+        assert sim.state.read_reg("r", 3) == z_expected
+
+    def test_signed_vs_unsigned_flags(self):
+        # -1 vs 1: N (signed lt) set, U (unsigned lt) clear.
+        sim = run("""
+        .org 0x1000
+        movi 0, r1, 0
+        movi 0, r2, 1
+        sub 0, r1, r1, r2    # r1 = -1
+        cmp r1, r2
+        movi 3, r3, 11       # N: executes
+        movi 5, r4, 22       # U: skipped (0xffffffff >u 1)
+        movi 6, r5, 33       # !U: executes
+        halt 0
+        """)
+        assert sim.state.read_reg("r", 3) == 11
+        assert sim.state.read_reg("r", 4) == 0
+        assert sim.state.read_reg("r", 5) == 33
+
+    def test_undefined_predicate_is_nop(self):
+        sim = run("""
+        .org 0x1000
+        movi 7, r1, 99       # pd=7: no predicate matches -> skip
+        halt 0
+        """)
+        assert sim.state.read_reg("r", 1) == 0
+
+    def test_predicated_store_skipped(self):
+        sim = run("""
+        .org 0x1000
+        movi 0, r1, 5
+        cmpi r1, 5           # Z=1
+        movi 0, r2, 0x1200
+        movi 0, r3, 77
+        stb 2, r3, [r2, 0]   # !Z: skipped
+        ldb 0, r4, [r2, 0]
+        halt 0
+        .org 0x1200
+        .space 4
+        """)
+        assert sim.state.read_reg("r", 4) == 0
+
+    def test_predicated_branch(self):
+        sim = run("""
+        .org 0x1000
+        movi 0, r1, 3
+        cmpi r1, 9
+        b 5, taken           # U: 3 <u 9
+        halt 1
+        taken: halt 2
+        """)
+        assert sim.exit_code == 2
+
+    def test_constant_synthesis_full_word(self):
+        sim = run("""
+        .org 0x1000
+        movi 0, r1, 0x3039          # low 14 bits of 0xdeadbeef? build piecewise
+        mov14 0, r1, 0x2b6f
+        mov28 0, r1, 0xd
+        halt 0
+        """)
+        value = sim.state.read_reg("r", 1)
+        assert value == (0xd << 28) | (0x2b6f << 14) | 0x3039
+
+
+class TestPred32Symbolic:
+    def test_predicates_fork_on_symbolic_flags(self):
+        """A symbolic cmp makes predicated instructions fork paths."""
+        model = build("pred32")
+        image = assemble(model, """
+        .org 0x1000
+        start:
+            inb r1
+            cmpi r1, 10
+            movi 5, r2, 1       # if U (r1 < 10)
+            movi 6, r3, 1       # if !U
+            cmpi r2, 1
+            b 1, small
+            halt 1
+        small:
+            halt 2
+        .entry start
+        """, base=0x1000)
+        engine = Engine(model)
+        engine.load_image(image)
+        result = engine.explore()
+        codes = {p.exit_code for p in result.paths}
+        assert codes == {1, 2}
+        by_code = {p.exit_code: p for p in result.paths}
+        assert by_code[2].input_bytes[0] < 10
+        assert by_code[1].input_bytes[0] >= 10
+
+    def test_predication_defect_parity_with_rv32(self):
+        """The same defect program yields the same defect on the
+        predicated ISA as on a branch-based ISA."""
+        from repro.programs import suite
+        case = suite.case_by_name("oob_write")
+        rv32_hit, rv32_result, _ = suite.run_case(case, "rv32", "bad")
+        pred_hit, pred_result, _ = suite.run_case(case, "pred32", "bad")
+        assert rv32_hit and pred_hit
+        rv32_defect = rv32_result.first_defect(case.defect_kind)
+        pred_defect = pred_result.first_defect(case.defect_kind)
+        assert (rv32_defect.input_bytes[0] >= 16
+                and pred_defect.input_bytes[0] >= 16)

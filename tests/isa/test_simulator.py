@@ -1,0 +1,255 @@
+"""Unit tests for the concrete simulator across all four ISAs."""
+
+import pytest
+
+from repro.isa import SimError, Simulator, assemble, build, run_image
+
+
+def run(target, source, input_bytes=b"", max_steps=100000):
+    model = build(target)
+    image = assemble(model, source, base=0x1000)
+    return run_image(model, image, input_bytes=input_bytes,
+                     max_steps=max_steps)
+
+
+class TestRv32Execution:
+    def test_arithmetic(self):
+        sim = run("rv32", """
+        .org 0x1000
+        start:
+            addi x1, x0, 7
+            addi x2, x0, 6
+            mul  x3, x1, x2
+            halt 0
+        .entry start
+        """)
+        assert sim.state.read_reg("x", 3) == 42
+
+    def test_zero_register_stays_zero(self):
+        sim = run("rv32", """
+        .org 0x1000
+        addi x0, x0, 99
+        halt 0
+        """)
+        assert sim.state.read_reg("x", 0) == 0
+
+    def test_signed_division_corner_cases(self):
+        sim = run("rv32", """
+        .org 0x1000
+        addi x1, x0, 5
+        addi x2, x0, 0
+        div  x3, x1, x2          # /0 -> -1
+        lui  x4, 0x80000
+        addi x5, x0, -1
+        div  x6, x4, x5          # most-negative / -1 -> most-negative
+        rem  x7, x4, x5          # -> 0
+        halt 0
+        """)
+        assert sim.state.read_reg("x", 3) == 0xffffffff
+        assert sim.state.read_reg("x", 6) == 0x80000000
+        assert sim.state.read_reg("x", 7) == 0
+
+    def test_memory_byte_sign_extension(self):
+        sim = run("rv32", """
+        .org 0x1000
+        addi x1, x0, 0x200
+        addi x2, x0, -1
+        sb   x2, 0(x1)
+        lb   x3, 0(x1)
+        lbu  x4, 0(x1)
+        halt 0
+        .org 0x1200
+        .space 4
+        """)
+        assert sim.state.read_reg("x", 3) == 0xffffffff
+        assert sim.state.read_reg("x", 4) == 0xff
+
+    def test_loop_and_output(self):
+        sim = run("rv32", """
+        .org 0x1000
+        start:
+            addi x1, x0, 3
+            addi x2, x0, 'a'
+        loop:
+            outb x2
+            addi x2, x2, 1
+            addi x1, x1, -1
+            bne  x1, x0, loop
+            halt 0
+        .entry start
+        """)
+        assert sim.output == b"abc"
+
+    def test_input_default_zero_after_exhaustion(self):
+        sim = run("rv32", """
+        .org 0x1000
+        inb x1
+        inb x2
+        outb x1
+        outb x2
+        halt 0
+        """, input_bytes=b"Q")
+        assert sim.output == b"Q\x00"
+
+    def test_max_steps_stops(self):
+        sim = run("rv32", """
+        .org 0x1000
+        forever: jal x0, forever
+        """, max_steps=10)
+        assert not sim.halted
+        assert sim.instruction_count == 10
+
+    def test_step_after_halt_rejected(self):
+        sim = run("rv32", ".org 0x1000\nhalt 0")
+        with pytest.raises(SimError):
+            sim.step()
+
+
+class TestMips32Execution:
+    def test_hi_lo_registers(self):
+        sim = run("mips32", """
+        .org 0x1000
+        ori r1, r0, 50000
+        ori r2, r0, 3
+        multu r1, r2
+        mflo r3
+        divu r1, r2
+        mflo r4
+        mfhi r5
+        halt 0
+        """)
+        assert sim.state.read_reg("r", 3) == 150000
+        assert sim.state.read_reg("r", 4) == 16666
+        assert sim.state.read_reg("r", 5) == 2
+
+    def test_big_endian_memory(self):
+        sim = run("mips32", """
+        .org 0x1000
+        ori r1, r0, 0x2000
+        lui r2, 0x1234
+        ori r2, r2, 0x5678
+        sw  r2, 0(r1)
+        lbu r3, 0(r1)
+        halt 0
+        .org 0x2000
+        .space 4
+        """)
+        assert sim.state.read_reg("r", 3) == 0x12   # MSB first
+
+    def test_jal_links_r31(self):
+        sim = run("mips32", """
+        .org 0x1000
+        start:
+            jal func
+            halt 0
+        func:
+            ori r1, r0, 9
+            jr r31
+        .entry start
+        """)
+        assert sim.halted
+        assert sim.state.read_reg("r", 1) == 9
+
+
+class TestArmliteExecution:
+    def test_flags_drive_branches(self):
+        sim = run("armlite", """
+        .org 0x1000
+        movi r0, 200
+        movi r1, 100
+        cmp r0, r1
+        bls wrong          # unsigned lower-or-same: not taken
+        bhi right
+        wrong: trap 1
+        right:
+            subs r2, r1, r1
+            beq done       # zero flag set
+            trap 2
+        done: halt 0
+        """)
+        assert sim.halted and sim.exit_code == 0
+
+    def test_overflow_flag(self):
+        sim = run("armlite", """
+        .org 0x1000
+        movi r0, 0x7fff
+        movt r0, 0x7fff    # r0 = 0x7fff7fff
+        mov r1, r0
+        adds r2, r0, r1    # signed overflow
+        bvs ok
+        trap 1
+        ok: halt 0
+        """)
+        assert sim.halted and sim.exit_code == 0
+        assert sim.state.read_reg("V", None) == 1
+
+    def test_carry_semantics_subtraction(self):
+        sim = run("armlite", """
+        .org 0x1000
+        movi r0, 5
+        movi r1, 9
+        cmp r0, r1         # 5 - 9 borrows -> C clear
+        bcc ok
+        trap 1
+        ok: halt 0
+        """)
+        assert sim.exit_code == 0
+
+
+class TestVlxExecution:
+    def test_variable_length_stream(self):
+        sim = run("vlx", """
+        .org 0x1000
+        nop
+        ldi r1, 0x1234
+        mov r2, r1
+        addi r2, 1
+        hlt 0
+        """)
+        assert sim.state.read_reg("r", 2) == 0x1235
+        # nop(1) + ldi(4) + mov(2) + addi(3) + hlt(2)
+        assert sim.instruction_count == 5
+
+    def test_sixteen_bit_wraparound(self):
+        sim = run("vlx", """
+        .org 0x1000
+        ldi r1, 0xffff
+        addi r1, 1
+        hlt 0
+        """)
+        assert sim.state.read_reg("r", 1) == 0
+
+    def test_two_address_alu(self):
+        sim = run("vlx", """
+        .org 0x1000
+        ldi r1, 6
+        ldi r2, 7
+        mul r1, r2
+        hlt 0
+        """)
+        assert sim.state.read_reg("r", 1) == 42
+
+    def test_jsr_jr_pair(self):
+        sim = run("vlx", """
+        .org 0x1000
+        start:
+            jsr r6, fn
+            outb r1
+            hlt 0
+        fn:
+            ldi r1, 'Z'
+            jr r6
+        .entry start
+        """)
+        assert sim.output == b"Z"
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("target", ["rv32", "mips32", "armlite", "vlx", "pred32"])
+    def test_same_input_same_result(self, target):
+        from repro.programs import build_kernel
+        model, image = build_kernel("checksum", target, length=2)
+        first = run_image(model, image, input_bytes=b"\x10\x20")
+        second = run_image(model, image, input_bytes=b"\x10\x20")
+        assert first.output == second.output
+        assert first.instruction_count == second.instruction_count

@@ -1,0 +1,93 @@
+"""Tests for the benchmark kernels (symbolic solve + concrete replay)."""
+
+import pytest
+
+from repro import core
+from repro.core import Engine
+from repro.isa import run_image
+from repro.programs import build_kernel
+from repro.programs.kernels import KERNELS, bsearch, checksum, maze
+
+ALL_TARGETS = ["rv32", "mips32", "armlite", "vlx", "pred32"]
+
+
+def solve(target, kernel, **params):
+    model, image = build_kernel(kernel, target, **params)
+    engine = Engine(model)
+    engine.load_image(image)
+    result = engine.explore()
+    return model, image, result
+
+
+class TestKernelCatalog:
+    def test_all_kernels_listed(self):
+        assert set(KERNELS) == {"maze", "password", "checksum", "bsearch",
+                                "dispatcher", "diamonds"}
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            build_kernel("labyrinth", "rv32")
+
+    def test_bsearch_table_validated(self):
+        with pytest.raises(ValueError):
+            bsearch(table=[5, 3])                 # unsorted & wrong size
+
+
+@pytest.mark.parametrize("target", ALL_TARGETS)
+class TestKernelSolutions:
+    def test_maze_unique_solution(self, target):
+        model, image, result = solve(target, "maze", depth=4,
+                                     solution=0b1011)
+        traps = [d for d in result.defects if d.kind == core.TRAP]
+        assert len(traps) == 1
+        # 2**4 paths: 15 halted + 1 trapped
+        assert len(result.paths) == 15
+        sim = run_image(model, image, input_bytes=traps[0].input_bytes)
+        assert sim.trapped
+        bits = [b & 1 for b in traps[0].input_bytes[:4]]
+        assert bits == [1, 0, 1, 1]
+
+    def test_password_exact_input(self, target):
+        model, image, result = solve(target, "password", secret=b"s3")
+        defect = result.first_defect(core.TRAP)
+        assert defect.input_bytes == b"s3"
+
+    def test_checksum_solution_replays(self, target):
+        model, image, result = solve(target, "checksum", length=3,
+                                     magic=0x2222)
+        defect = result.first_defect(core.TRAP)
+        assert defect is not None
+        sim = run_image(model, image, input_bytes=defect.input_bytes)
+        assert sim.trapped
+
+    def test_checksum_solution_is_correct_hash(self, target):
+        model, image, result = solve(target, "checksum", length=3,
+                                     magic=0x2222)
+        defect = result.first_defect(core.TRAP)
+        acc = 0
+        for byte in defect.input_bytes[:3]:
+            acc = (acc * 31 + byte) & 0xffff
+        assert acc == 0x2222
+
+    def test_bsearch_finds_needle_slot(self, target):
+        model, image, result = solve(target, "bsearch")
+        defect = result.first_defect(core.TRAP)
+        assert defect is not None
+        assert defect.input_bytes[0] == 181    # table[13]
+
+
+class TestKernelShapes:
+    def test_maze_path_count_is_exponential(self):
+        for depth in (3, 5):
+            _, _, result = solve("rv32", "maze", depth=depth)
+            assert len(result.paths) + len(result.defects) == 2 ** depth
+
+    def test_checksum_single_solve_path(self):
+        _, _, result = solve("rv32", "checksum", length=2)
+        # No intermediate branching: exactly one halted path plus the trap.
+        assert len(result.paths) == 1
+
+    def test_maze_solution_masked_to_depth(self):
+        program = maze(depth=2, solution=0xff)
+        # No exception: solution masked to 2 bits internally.
+        assert program.ops

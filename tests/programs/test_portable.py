@@ -1,0 +1,175 @@
+"""Tests for the portable program builder and its four backends.
+
+The key property: the SAME portable program produces the SAME observable
+behaviour (output bytes, exit code) on every ISA when run concretely.
+"""
+
+import pytest
+
+from repro.isa import assemble, build, run_image
+from repro.programs.portable import TARGETS, PortableProgram, lower
+
+ALL_TARGETS = ["rv32", "mips32", "armlite", "vlx", "pred32"]
+
+
+def run_portable(program, target, input_bytes=b""):
+    model = build(target)
+    image = assemble(model, lower(program, target), base=0x1000)
+    return run_image(model, image, input_bytes=input_bytes)
+
+
+def simple_program():
+    p = PortableProgram()
+    p.org(0x1000).entry("start").label("start")
+    return p
+
+
+class TestLowering:
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError):
+            lower(PortableProgram(), "z80")
+
+    def test_too_many_virtual_registers(self):
+        p = simple_program()
+        p.li("v7", 0)
+        with pytest.raises(ValueError):
+            lower(p, "rv32")
+
+    def test_targets_table(self):
+        assert set(TARGETS) == set(ALL_TARGETS)
+        assert TARGETS["vlx"].word_bytes == 2
+
+    def test_vlx_constant_range_enforced(self):
+        p = simple_program()
+        p.li("v0", 0x12345)
+        with pytest.raises(ValueError):
+            lower(p, "vlx")
+
+    def test_rv32_large_constant_li(self):
+        p = simple_program()
+        p.li("v0", 0xdeadbeef & 0xffff_ffff)
+        p.halt(0)
+        sim = run_portable(p, "rv32")
+        # v0 maps to x10 on rv32
+        assert sim.state.read_reg("x", 10) == 0xdeadbeef
+
+    @pytest.mark.parametrize("target", ["rv32", "mips32", "armlite"])
+    @pytest.mark.parametrize("value", [0, 1, 0x7fff, 0x8000, 0xffff,
+                                       0x12340000, 0xffffffff, 0x800])
+    def test_li_constant_exact(self, target, value):
+        p = simple_program()
+        p.li("v0", value)
+        p.halt(0)
+        sim = run_portable(p, target)
+        regfile = {"rv32": ("x", 10), "mips32": ("r", 8),
+                   "armlite": ("r", 0)}[target]
+        assert sim.state.read_reg(*regfile) == value
+
+
+@pytest.mark.parametrize("target", ALL_TARGETS)
+class TestCrossIsaBehaviour:
+    def test_arithmetic_pipeline(self, target):
+        p = simple_program()
+        p.li("v0", 6).li("v1", 7)
+        p.alu("mul", "v2", "v0", "v1")      # 42
+        p.li("v3", 5)
+        p.alu("remu", "v4", "v2", "v3")     # 2
+        p.alu("add", "v2", "v2", "v4")      # 44
+        p.write_output("v2")
+        p.halt(0)
+        sim = run_portable(p, target)
+        assert sim.output == b"," and sim.exit_code == 0
+
+    def test_divu(self, target):
+        p = simple_program()
+        p.li("v0", 100).li("v1", 7)
+        p.alu("divu", "v2", "v0", "v1")
+        p.write_output("v2")
+        p.halt(0)
+        assert run_portable(p, target).output == bytes([14])
+
+    def test_shifts(self, target):
+        p = simple_program()
+        p.li("v0", 1).li("v1", 5)
+        p.alu("shl", "v2", "v0", "v1")      # 32
+        p.li("v3", 4)
+        p.alu("shr", "v2", "v2", "v3")      # 2
+        p.write_output("v2")
+        p.halt(0)
+        assert run_portable(p, target).output == bytes([2])
+
+    def test_memory_roundtrip(self, target):
+        p = simple_program()
+        p.li("v0", 0x1400)
+        p.li("v1", 0x5b)
+        p.storeb("v1", "v0", 3)
+        p.loadb("v2", "v0", 3)
+        p.write_output("v2")
+        p.halt(0)
+        p.org(0x1400).label("buf").space(8)
+        assert run_portable(p, target).output == b"["
+
+    def test_word_memory_roundtrip(self, target):
+        p = simple_program()
+        word = 0x1234 if target == "vlx" else 0x12345678
+        p.li("v0", 0x1400)
+        p.li("v1", word)
+        p.storew("v1", "v0", 0)
+        p.loadw("v2", "v0", 0)
+        p.alu("xor", "v3", "v1", "v2")      # must be 0
+        p.write_output("v3")
+        p.halt(0)
+        p.org(0x1400).label("buf").space(8)
+        assert run_portable(p, target).output == b"\x00"
+
+    @pytest.mark.parametrize("cond,a,b,taken", [
+        ("eq", 5, 5, True), ("eq", 5, 6, False),
+        ("ne", 5, 6, True), ("ne", 5, 5, False),
+        ("ltu", 3, 9, True), ("ltu", 9, 3, False),
+        ("geu", 9, 3, True), ("geu", 3, 9, False),
+        ("ge", 3, 3, True), ("lt", 2, 3, True),
+    ])
+    def test_branch_conditions(self, target, cond, a, b, taken):
+        p = simple_program()
+        p.li("v0", a).li("v1", b)
+        p.branch(cond, "v0", "v1", "yes")
+        p.halt(1)
+        p.label("yes")
+        p.halt(2)
+        sim = run_portable(p, target)
+        assert sim.exit_code == (2 if taken else 1)
+
+    def test_signed_branch_negative(self, target):
+        wordmask = 0xffff if target == "vlx" else 0xffffffff
+        p = simple_program()
+        p.li("v0", 0)
+        p.addi("v0", "v0", -1)              # -1
+        p.li("v1", 1)
+        p.branch("lt", "v0", "v1", "neg")   # -1 < 1 signed
+        p.halt(1)
+        p.label("neg")
+        p.branch("ltu", "v0", "v1", "bad")  # unsigned: max > 1, not taken
+        p.halt(2)
+        p.label("bad")
+        p.halt(3)
+        assert run_portable(p, target).exit_code == 2
+
+    def test_input_output_loop(self, target):
+        p = simple_program()
+        p.li("v1", 3)
+        p.li("v2", 0)
+        p.label("loop")
+        p.branch("geu", "v2", "v1", "done")
+        p.read_input("v0")
+        p.write_output("v0")
+        p.addi("v2", "v2", 1)
+        p.jump("loop")
+        p.label("done")
+        p.halt(0)
+        assert run_portable(p, target, b"xyz").output == b"xyz"
+
+    def test_trap(self, target):
+        p = simple_program()
+        p.trap(9)
+        sim = run_portable(p, target)
+        assert sim.trapped and sim.trap_code == 9

@@ -1,0 +1,80 @@
+"""The Table 2 acceptance test: every defect found, no false positives.
+
+This is the headline soundness test of the reproduction — the full
+case x ISA x variant matrix.  Detection must hold on all ISAs, and good
+variants must stay clean.
+"""
+
+import pytest
+
+from repro.isa import run_image
+from repro.programs import suite
+
+ALL_TARGETS = ["rv32", "mips32", "armlite", "vlx", "pred32"]
+CASE_NAMES = [case.name for case in suite.all_cases()]
+
+
+class TestSuiteStructure:
+    def test_eight_cases(self):
+        assert len(suite.all_cases()) == 8
+
+    def test_case_by_name(self):
+        assert suite.case_by_name("div_by_zero").cwe == "CWE-369"
+        with pytest.raises(KeyError):
+            suite.case_by_name("nope")
+
+    def test_bad_variant_name_rejected(self):
+        with pytest.raises(ValueError):
+            suite.case_by_name("div_by_zero").build("ugly")
+
+    def test_repr(self):
+        assert "CWE-369" in repr(suite.case_by_name("div_by_zero"))
+
+
+@pytest.mark.parametrize("target", ALL_TARGETS)
+@pytest.mark.parametrize("case_name", CASE_NAMES)
+class TestDetectionMatrix:
+    def test_bad_variant_detected(self, case_name, target):
+        case = suite.case_by_name(case_name)
+        detected, result, _image = suite.run_case(case, target, "bad")
+        assert detected, "missed %s on %s: %s" % (case_name, target,
+                                                  result.summary())
+
+    def test_good_variant_clean(self, case_name, target):
+        case = suite.case_by_name(case_name)
+        detected, result, _image = suite.run_case(case, target, "good")
+        assert not detected, "false positive %s on %s: %s" % (
+            case_name, target, result.summary())
+
+
+@pytest.mark.parametrize("target", ALL_TARGETS)
+class TestTriggeringInputsReplay:
+    """Solver-found inputs must reproduce the defect concretely."""
+
+    def test_magic_trap_input_replays(self, target):
+        case = suite.case_by_name("magic_trap")
+        detected, result, image = suite.run_case(case, target, "bad")
+        assert detected
+        defect = result.first_defect(case.defect_kind)
+        from repro.isa import build
+        sim = run_image(build(target), image,
+                        input_bytes=defect.input_bytes)
+        assert sim.trapped
+
+    def test_div_zero_input_is_zero(self, target):
+        case = suite.case_by_name("div_by_zero")
+        _, result, _ = suite.run_case(case, target, "bad")
+        defect = result.first_defect(case.defect_kind)
+        assert defect.input_bytes[0] == 0
+
+    def test_oob_write_index_out_of_bounds(self, target):
+        case = suite.case_by_name("oob_write")
+        _, result, _ = suite.run_case(case, target, "bad")
+        defect = result.first_defect(case.defect_kind)
+        assert defect.input_bytes[0] >= suite.BUF_SIZE
+
+    def test_underflow_trigger_is_zero_length(self, target):
+        case = suite.case_by_name("underflow_wrap")
+        _, result, _ = suite.run_case(case, target, "bad")
+        defect = result.first_defect(case.defect_kind)
+        assert defect.input_bytes[0] == 0

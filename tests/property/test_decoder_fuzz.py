@@ -1,0 +1,58 @@
+"""Decoder/disassembler fuzzing: arbitrary bytes must never crash.
+
+The generated decoder either returns a decode or raises
+:class:`DecodeError` — no other exception, for any byte soup, on any ISA.
+Decoded instructions must disassemble, and reassembling the disassembly
+must reproduce the original bytes (full tool-chain consistency).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import assemble, build, format_instruction
+from repro.isa.decoder import DecodeError
+
+ALL_TARGETS = ["rv32", "mips32", "armlite", "vlx", "pred32"]
+
+
+@settings(max_examples=400, deadline=None)
+@given(st.sampled_from(ALL_TARGETS), st.binary(min_size=0, max_size=8))
+def test_decode_never_crashes(target, data):
+    model = build(target)
+    try:
+        decoded = model.decoder.decode_bytes(data, 0x1000)
+    except DecodeError:
+        return
+    assert decoded.length <= max(len(data), model.decoder.max_length)
+    assert decoded.instruction in model.instructions
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.sampled_from(ALL_TARGETS), st.binary(min_size=4, max_size=8))
+def test_decode_disasm_reassemble_roundtrip(target, data):
+    model = build(target)
+    try:
+        decoded = model.decoder.decode_bytes(data, 0x1000)
+    except DecodeError:
+        return
+    text = format_instruction(model, decoded)
+    image = assemble(model, ".org 0x1000\n" + text, base=0x1000)
+    original = bytes(data[:decoded.length])
+    assert bytes(image.data) == original, (text, original)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.sampled_from(ALL_TARGETS), st.binary(min_size=1, max_size=8),
+       st.integers(0, 2**16 - 1))
+def test_decode_is_address_independent_for_matching(target, data, addr):
+    """Which instruction matches depends only on the bytes, not the
+    address (addresses only affect pc-relative operand rendering)."""
+    model = build(target)
+    outcomes = []
+    for address in (0x1000, addr & ~1):
+        try:
+            outcomes.append(
+                model.decoder.decode_bytes(data, address).instruction.name)
+        except DecodeError:
+            outcomes.append(None)
+    assert outcomes[0] == outcomes[1]

@@ -1,0 +1,298 @@
+"""Unit tests for the hash-consed term layer."""
+
+import pytest
+
+from repro.smt import terms as T
+
+
+class TestConstruction:
+    def test_const_masks_value(self):
+        assert T.bv(0x1ff, 8).value == 0xff
+
+    def test_const_width(self):
+        assert T.bv(1, 32).width == 32
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(T.WidthError):
+            T.bv(0, 0)
+
+    def test_var_interned_by_name(self):
+        assert T.var("v_intern", 8) is T.var("v_intern", 8)
+
+    def test_var_width_conflict_rejected(self):
+        T.var("v_conflict", 8)
+        with pytest.raises(T.WidthError):
+            T.var("v_conflict", 16)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(T.WidthError):
+            T.add(T.bv(0, 8), T.bv(0, 16))
+
+    def test_hash_consing_returns_same_object(self):
+        x = T.var("hc_x", 8)
+        assert T.add(x, T.bv(1, 8)) is T.add(x, T.bv(1, 8))
+
+    def test_commutative_canonicalization(self):
+        x, y = T.var("cc_x", 8), T.var("cc_y", 8)
+        assert T.add(x, y) is T.add(y, x)
+        assert T.mul(x, y) is T.mul(y, x)
+        assert T.and_(x, y) is T.and_(y, x)
+
+
+class TestConstantFolding:
+    def test_add(self):
+        assert T.add(T.bv(250, 8), T.bv(10, 8)).value == 4
+
+    def test_sub_wraps(self):
+        assert T.sub(T.bv(0, 8), T.bv(1, 8)).value == 0xff
+
+    def test_mul(self):
+        assert T.mul(T.bv(16, 8), T.bv(16, 8)).value == 0
+
+    def test_udiv_by_zero_is_all_ones(self):
+        assert T.udiv(T.bv(7, 8), T.bv(0, 8)).value == 0xff
+
+    def test_urem_by_zero_is_dividend(self):
+        assert T.urem(T.bv(7, 8), T.bv(0, 8)).value == 7
+
+    def test_sdiv_truncates_toward_zero(self):
+        # -7 / 2 == -3
+        assert T.sdiv(T.bv(-7, 8), T.bv(2, 8)).value == T.bv(-3, 8).value
+
+    def test_srem_sign_follows_dividend(self):
+        # -7 rem 2 == -1
+        assert T.srem(T.bv(-7, 8), T.bv(2, 8)).value == T.bv(-1, 8).value
+
+    def test_sdiv_by_zero_negative_dividend(self):
+        assert T.sdiv(T.bv(-5, 8), T.bv(0, 8)).value == 1
+
+    def test_sdiv_by_zero_positive_dividend(self):
+        assert T.sdiv(T.bv(5, 8), T.bv(0, 8)).value == 0xff
+
+    def test_shift_folding(self):
+        assert T.shl(T.bv(1, 8), T.bv(3, 8)).value == 8
+        assert T.lshr(T.bv(0x80, 8), T.bv(7, 8)).value == 1
+        assert T.ashr(T.bv(0x80, 8), T.bv(7, 8)).value == 0xff
+
+    def test_overshift_is_zero(self):
+        assert T.shl(T.bv(1, 8), T.bv(9, 8)).value == 0
+        assert T.lshr(T.bv(0xff, 8), T.bv(8, 8)).value == 0
+
+    def test_ashr_overshift_is_sign_fill(self):
+        assert T.ashr(T.bv(0x80, 8), T.bv(100, 8)).value == 0xff
+        assert T.ashr(T.bv(0x40, 8), T.bv(100, 8)).value == 0
+
+
+class TestIdentities:
+    def test_add_zero(self):
+        x = T.var("id_x", 8)
+        assert T.add(x, T.bv(0, 8)) is x
+
+    def test_sub_self_is_zero(self):
+        x = T.var("id_x", 8)
+        assert T.sub(x, x).value == 0
+
+    def test_mul_one(self):
+        x = T.var("id_x", 8)
+        assert T.mul(x, T.bv(1, 8)) is x
+
+    def test_and_ones(self):
+        x = T.var("id_x", 8)
+        assert T.and_(x, T.bv(0xff, 8)) is x
+
+    def test_and_zero(self):
+        x = T.var("id_x", 8)
+        assert T.and_(x, T.bv(0, 8)).value == 0
+
+    def test_xor_self_is_zero(self):
+        x = T.var("id_x", 8)
+        assert T.xor(x, x).value == 0
+
+    def test_double_not(self):
+        x = T.var("id_x", 8)
+        assert T.not_(T.not_(x)) is x
+
+    def test_eq_self_is_true(self):
+        x = T.var("id_x", 8)
+        assert T.is_true(T.eq(x, x))
+
+    def test_ult_self_is_false(self):
+        x = T.var("id_x", 8)
+        assert T.is_false(T.ult(x, x))
+
+    def test_add_reassociation(self):
+        x = T.var("id_x", 8)
+        t = T.add(T.add(x, T.bv(1, 8)), T.bv(2, 8))
+        assert t is T.add(x, T.bv(3, 8))
+
+
+class TestStructure:
+    def test_concat_widths(self):
+        t = T.concat(T.var("st_a", 8), T.var("st_b", 16))
+        assert t.width == 24
+
+    def test_concat_const_fold(self):
+        assert T.concat(T.bv(0xAB, 8), T.bv(0xCD, 8)).value == 0xABCD
+
+    def test_extract_bounds_checked(self):
+        with pytest.raises(T.WidthError):
+            T.extract(T.bv(0, 8), 8, 0)
+
+    def test_extract_full_width_is_identity(self):
+        x = T.var("st_x", 8)
+        assert T.extract(x, 7, 0) is x
+
+    def test_extract_of_extract_composes(self):
+        x = T.var("st_y", 32)
+        inner = T.extract(x, 23, 8)
+        assert T.extract(inner, 7, 0) is T.extract(x, 15, 8)
+
+    def test_extract_through_concat(self):
+        a, b = T.var("st_a", 8), T.var("st_b", 16)
+        cat = T.concat(a, b)
+        assert T.extract(cat, 23, 16) is a
+        assert T.extract(cat, 15, 0) is b
+
+    def test_concat_of_adjacent_extracts_folds(self):
+        x = T.var("st_y", 32)
+        t = T.concat(T.extract(x, 15, 8), T.extract(x, 7, 0))
+        assert t is T.extract(x, 15, 0)
+
+    def test_zext_const(self):
+        assert T.zext(T.bv(0xff, 8), 8).value == 0xff
+
+    def test_sext_const_negative(self):
+        assert T.sext(T.bv(0x80, 8), 8).value == 0xff80
+
+    def test_sext_of_zext_is_zext(self):
+        x = T.var("st_x", 8)
+        assert T.sext(T.zext(x, 8), 16).op == T.ZEXT
+
+    def test_zero_extension_by_zero_is_identity(self):
+        x = T.var("st_x", 8)
+        assert T.zext(x, 0) is x
+        assert T.sext(x, 0) is x
+
+
+class TestPredicatesAndIte:
+    def test_ite_needs_boolean_condition(self):
+        with pytest.raises(T.WidthError):
+            T.ite(T.bv(1, 8), T.bv(0, 8), T.bv(1, 8))
+
+    def test_ite_const_condition(self):
+        a, b = T.bv(1, 8), T.bv(2, 8)
+        assert T.ite(T.TRUE, a, b) is a
+        assert T.ite(T.FALSE, a, b) is b
+
+    def test_ite_same_branches(self):
+        c = T.var("p_c", 1)
+        a = T.var("p_a", 8)
+        assert T.ite(c, a, a) is a
+
+    def test_ite_bool_collapse(self):
+        c = T.var("p_c", 1)
+        assert T.ite(c, T.TRUE, T.FALSE) is c
+
+    def test_signed_comparison_lowering(self):
+        # -1 <s 0 but not -1 <u 0
+        minus1, zero = T.bv(-1, 8), T.bv(0, 8)
+        assert T.is_true(T.slt(minus1, zero))
+        assert T.is_false(T.ult(minus1, zero))
+
+    def test_sle_sge(self):
+        assert T.is_true(T.sle(T.bv(-5, 8), T.bv(-5, 8)))
+        assert T.is_true(T.sge(T.bv(5, 8), T.bv(-5, 8)))
+
+    def test_ne_is_not_eq(self):
+        assert T.is_true(T.ne(T.bv(1, 8), T.bv(2, 8)))
+
+    def test_conjoin_disjoin_empty(self):
+        assert T.is_true(T.conjoin([]))
+        assert T.is_false(T.disjoin([]))
+
+    def test_implies(self):
+        assert T.is_true(T.implies(T.FALSE, T.FALSE))
+        assert T.is_false(T.implies(T.TRUE, T.FALSE))
+
+
+class TestEvaluate:
+    def test_variable_lookup(self):
+        x = T.var("ev_x", 8)
+        assert T.evaluate(T.add(x, T.bv(1, 8)), {"ev_x": 41}) == 42
+
+    def test_default_for_missing(self):
+        x = T.var("ev_y", 8)
+        assert T.evaluate(x, {}) == 0
+        assert T.evaluate(x, {}, default=7) == 7
+
+    def test_missing_raises_with_none_default(self):
+        x = T.var("ev_z", 8)
+        with pytest.raises(T.SmtError):
+            T.evaluate(x, {}, default=None)
+
+    def test_deep_term_no_recursion_error(self):
+        x = T.var("ev_deep", 8)
+        t = x
+        for _ in range(5000):
+            t = T.add(t, T.bv(1, 8))
+        assert T.evaluate(t, {"ev_deep": 0}) == 5000 % 256
+
+    def test_rotl_rotr(self):
+        x = T.var("ev_rot", 8)
+        env = {"ev_rot": 0b10010110}
+        assert T.evaluate(T.rotl(x, T.bv(3, 8)), env) == 0b10110100
+        assert T.evaluate(T.rotr(x, T.bv(3, 8)), env) == 0b11010010
+
+    def test_rot_by_zero(self):
+        x = T.var("ev_rot", 8)
+        assert T.evaluate(T.rotl(x, T.bv(0, 8)), {"ev_rot": 0x5a}) == 0x5a
+
+
+class TestInspection:
+    def test_variables(self):
+        x, y = T.var("in_x", 8), T.var("in_y", 8)
+        found = T.variables(T.add(x, T.mul(y, y)))
+        assert set(found) == {"in_x", "in_y"}
+
+    def test_term_size_shares_dag(self):
+        x = T.var("in_x", 8)
+        double = T.add(x, x)
+        quad = T.add(double, double)
+        assert T.term_size(quad) == 3  # x, double, quad
+
+    def test_to_signed(self):
+        assert T.to_signed(0xff, 8) == -1
+        assert T.to_signed(0x7f, 8) == 127
+
+    def test_render_is_stable(self):
+        x = T.var("in_x", 8)
+        assert "in_x" in repr(T.add(x, T.bv(1, 8)))
+
+
+class TestPoolConfiguration:
+    def teardown_method(self):
+        T.configure(hash_consing=True, simplify=True)
+
+    def test_no_hash_consing_gives_fresh_objects(self):
+        T.configure(hash_consing=False, simplify=True)
+        x = T.var("pc_x", 8)
+        y = T.var("pc_x", 8)
+        # vars stay interned by name even without consing
+        assert x is y
+        a = T.add(x, T.var("pc_y", 8))
+        b = T.add(x, T.var("pc_y", 8))
+        assert a is not b
+        assert a == b  # structural equality still holds
+
+    def test_no_simplify_keeps_structure(self):
+        T.configure(hash_consing=True, simplify=False)
+        x = T.var("pc_z", 8)
+        t = T.add(x, T.bv(0, 8))
+        assert t.op == T.ADD
+
+    def test_pool_stats_counts(self):
+        pool = T.configure(hash_consing=True, simplify=True)
+        x = T.var("pc_s", 8)
+        T.add(x, T.bv(1, 8))
+        T.add(x, T.bv(1, 8))
+        assert pool.stats()["hits"] >= 1

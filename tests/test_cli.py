@@ -1,0 +1,171 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+DEMO = """
+.org 0x1000
+.entry start
+start:
+    inb x1
+    addi x2, x0, 7
+    divu x3, x2, x1
+    outb x3
+    halt 0
+"""
+
+CLEAN = """
+.org 0x1000
+start:
+    addi x1, x0, 65
+    outb x1
+    halt 0
+.entry start
+"""
+
+
+@pytest.fixture
+def demo_file(tmp_path):
+    path = tmp_path / "demo.s"
+    path.write_text(DEMO)
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.s"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+class TestIsas:
+    def test_lists_all_builtins(self, capsys):
+        assert main(["isas"]) == 0
+        out = capsys.readouterr().out
+        for name in ("rv32", "mips32", "armlite", "vlx", "pred32"):
+            assert name in out
+
+
+class TestAsmDis:
+    def test_asm_hexdump_and_symbols(self, demo_file, capsys):
+        assert main(["asm", "rv32", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "20 bytes at 0x1000" in out
+        assert "start" in out
+
+    def test_dis_shows_mnemonics(self, demo_file, capsys):
+        assert main(["dis", "rv32", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "divu x3, x2, x1" in out
+        assert "halt 0" in out
+
+    def test_custom_base(self, tmp_path, capsys):
+        path = tmp_path / "b.s"
+        path.write_text(".org 0x2000\nhalt 0\n")
+        assert main(["asm", "rv32", str(path), "--base", "0x2000"]) == 0
+        assert "0x2000" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_clean_exits_zero(self, clean_file, capsys):
+        assert main(["run", "rv32", clean_file]) == 0
+        assert "output: b'A'" in capsys.readouterr().out
+
+    def test_run_with_input_escapes(self, demo_file, capsys):
+        assert main(["run", "rv32", demo_file, "--input", r"\x02"]) == 0
+        assert r"b'\x03'" in capsys.readouterr().out
+
+    def test_run_trap_exit_code(self, tmp_path):
+        path = tmp_path / "t.s"
+        path.write_text(".org 0x1000\ntrap 1\n")
+        assert main(["run", "rv32", str(path)]) == 2
+
+    def test_budget_exhaustion(self, tmp_path, capsys):
+        path = tmp_path / "loop.s"
+        path.write_text(".org 0x1000\nloop: jal x0, loop\n")
+        assert main(["run", "rv32", str(path), "--max-steps", "5"]) == 1
+
+
+class TestTrace:
+    def test_trace_lists_instructions(self, clean_file, capsys):
+        assert main(["trace", "rv32", clean_file]) == 0
+        out = capsys.readouterr().out
+        assert "addi x1, x0, 65" in out
+        assert "out b'A'" in out
+
+
+class TestExplore:
+    def test_explore_reports_defect(self, demo_file, capsys):
+        assert main(["explore", "rv32", demo_file]) == 2
+        out = capsys.readouterr().out
+        assert "division-by-zero" in out
+        assert "coverage:" in out
+
+    def test_explore_clean_returns_zero(self, clean_file, capsys):
+        assert main(["explore", "rv32", clean_file]) == 0
+        assert "defects=0" in capsys.readouterr().out
+
+    def test_explore_strategy_and_merge_flags(self, clean_file):
+        assert main(["explore", "rv32", clean_file, "--strategy", "bfs",
+                     "--merge"]) == 0
+
+    def test_explore_region_flag(self, tmp_path):
+        path = tmp_path / "r.s"
+        path.write_text("""
+        .org 0x1000
+        lui x1, 8
+        lbu x2, 0(x1)      # 0x8000: only mapped via --region
+        halt 0
+        """)
+        assert main(["explore", "rv32", str(path)]) == 2   # OOB
+        assert main(["explore", "rv32", str(path),
+                     "--region", "0x8000:16"]) == 0
+
+    def test_explore_taint_flag(self, tmp_path, capsys):
+        path = tmp_path / "taint.s"
+        path.write_text("""
+        .org 0x1000
+        start:
+            inb x1
+            andi x1, x1, 4
+            lui x2, 1
+            addi x2, x2, 0x100
+            add x2, x2, x1
+            jalr x0, 0(x2)
+        .org 0x1100
+            halt 1
+            halt 2
+        .entry start
+        """)
+        assert main(["explore", "rv32", str(path), "--taint"]) == 2
+        assert "tainted-control-flow" in capsys.readouterr().out
+
+
+class TestCfg:
+    def test_cfg_prints_blocks(self, demo_file, capsys):
+        assert main(["cfg", "rv32", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "1 blocks" in out and "halt" in out
+
+    def test_cfg_branching(self, tmp_path, capsys):
+        path = tmp_path / "br.s"
+        path.write_text("""
+        .org 0x1000
+        inb x1
+        beq x1, x0, a
+        halt 1
+        a: halt 2
+        """)
+        assert main(["cfg", "rv32", str(path)]) == 0
+        assert "3 blocks" in capsys.readouterr().out
+
+
+class TestParsing:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--version"])
