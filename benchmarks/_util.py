@@ -10,6 +10,7 @@ reconstructed evaluation (see DESIGN.md §4).  Each module works two ways:
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from typing import Dict, List, Optional
@@ -77,3 +78,49 @@ def timed(fn, *args, **kwargs):
     start = time.perf_counter()
     value = fn(*args, **kwargs)
     return value, time.perf_counter() - start
+
+
+# -- telemetry sidecars --------------------------------------------------------
+#
+# When run as scripts, the table/figure benchmarks dump a machine-readable
+# ``<bench>.telemetry.json`` next to the module: per-run phase breakdowns
+# (decode / eval / solver / memory / strategy) plus counters, so a future
+# perf PR can attribute a speedup to a specific phase instead of guessing.
+
+def telemetry_sidecar_path(bench_file: str) -> str:
+    """``benchmarks/bench_x.py`` -> ``benchmarks/bench_x.telemetry.json``."""
+    root, _ext = os.path.splitext(os.path.abspath(bench_file))
+    return root + ".telemetry.json"
+
+
+def write_telemetry_sidecar(bench_file: str, runs: List[Dict],
+                            **extra) -> str:
+    """Write the sidecar for ``bench_file``; returns the sidecar path.
+
+    ``runs`` is a list of records, typically
+    ``{"label": ..., "telemetry": result.telemetry}`` or
+    ``{"label": ..., "phases": {...}}``.  Keyword extras land at the top
+    level of the payload (e.g. ``reproduction_rate=...``).
+    """
+    path = telemetry_sidecar_path(bench_file)
+    payload = {
+        "benchmark": os.path.basename(bench_file),
+        "generated_unix": round(time.time(), 3),
+        "runs": runs,
+    }
+    payload.update(extra)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def merge_phase_snapshots(into: Dict[str, Dict[str, float]],
+                          phases: Dict[str, Dict[str, float]]) -> None:
+    """Accumulate one ``PhaseProfiler.snapshot()`` into ``into`` in place."""
+    for name, row in phases.items():
+        slot = into.setdefault(name, {"calls": 0, "total_s": 0.0,
+                                      "self_s": 0.0})
+        slot["calls"] += row["calls"]
+        slot["total_s"] = round(slot["total_s"] + row["total_s"], 6)
+        slot["self_s"] = round(slot["self_s"] + row["self_s"], 6)

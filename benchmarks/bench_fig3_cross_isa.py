@@ -12,10 +12,12 @@ import pytest
 from repro.core import Engine, EngineConfig
 from repro.core.concolic import ConcolicExplorer
 from repro.isa import assemble, build
+from repro.obs import Obs
 from repro.programs import suite
 from repro.programs.portable import lower
 
-from _util import ALL_TARGETS, print_table, timed
+from _util import (ALL_TARGETS, merge_phase_snapshots, print_table, timed,
+                   write_telemetry_sidecar)
 
 CASES = ["div_by_zero", "oob_write", "oob_read", "underflow_wrap",
          "off_by_one", "magic_trap", "tainted_jump"]
@@ -27,11 +29,13 @@ def find_input(case, target):
     return result.first_defect(case.defect_kind).input_bytes
 
 
-def replay(case, target, input_bytes):
+def replay(case, target, input_bytes, obs=None):
     model = build(target)
     image = assemble(model, lower(case.build("bad"), target),
                      base=suite.CODE_BASE)
     config = EngineConfig()
+    if obs is not None:
+        config.obs = obs
     if case.needs_uninit_check:
         config.check_uninit = True
     if case.needs_taint_check:
@@ -45,7 +49,9 @@ def replay(case, target, input_bytes):
     return any(d.kind == case.defect_kind for d in result.defects)
 
 
-def figure_rows():
+def figure_rows(telemetry=None):
+    """Build the matrix; optionally accumulate per-destination-ISA phase
+    breakdowns into ``telemetry`` (dict keyed by ISA name)."""
     rows = []
     total = 0
     reproduced = 0
@@ -55,7 +61,12 @@ def figure_rows():
             input_bytes = find_input(case, source)
             hits = []
             for destination in ALL_TARGETS:
-                ok = replay(case, destination, input_bytes)
+                obs = (Obs(metrics=True, profile=True)
+                       if telemetry is not None else None)
+                ok = replay(case, destination, input_bytes, obs=obs)
+                if obs is not None:
+                    merge_phase_snapshots(telemetry.setdefault(destination, {}),
+                                          obs.profiler.snapshot())
                 total += 1
                 reproduced += int(ok)
                 hits.append("y" if ok else "N")
@@ -64,8 +75,9 @@ def figure_rows():
     return rows, total, reproduced
 
 
-def print_report():
-    rows, total, reproduced = figure_rows()
+def print_report(write_sidecar=False):
+    telemetry = {} if write_sidecar else None
+    rows, total, reproduced = figure_rows(telemetry=telemetry)
     print_table(
         "Figure 3 (matrix): inputs found on <source ISA> replayed on "
         "rv32/mips32/armlite/vlx",
@@ -73,6 +85,13 @@ def print_report():
         rows)
     print("\nreproduction rate: %d/%d (%.0f%%)"
           % (reproduced, total, 100.0 * reproduced / total))
+    if write_sidecar:
+        runs = [{"label": isa, "isa": isa, "phases": telemetry[isa]}
+                for isa in sorted(telemetry)]
+        path = write_telemetry_sidecar(
+            __file__, runs, cases=CASES,
+            reproduction_rate="%d/%d" % (reproduced, total))
+        print("telemetry sidecar: %s" % path)
 
 
 def test_cross_isa_replay_time(benchmark):
@@ -92,4 +111,4 @@ def test_print_fig3():
 
 
 if __name__ == "__main__":
-    print_report()
+    print_report(write_sidecar=True)

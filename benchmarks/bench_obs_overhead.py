@@ -1,0 +1,76 @@
+"""Telemetry overhead guard.
+
+Runs the quickstart-shaped workload (maze kernel: forks, solver checks,
+memory traffic) with three Obs configurations and asserts that the
+engine default — **enabled counters, no event sink, no profiler** —
+stays within ``MAX_OVERHEAD`` of a fully disabled Obs.  CI runs this on
+every push so instrumentation creep is caught before it lands.
+
+Usage::
+
+    python benchmarks/bench_obs_overhead.py            # assert + report
+    python benchmarks/bench_obs_overhead.py --report   # report only
+
+Exit status 1 when the budget is exceeded.
+
+(Not a pytest module on purpose: single-shot wall-clock assertions are
+too noisy for the unit suite; best-of-N in a dedicated CI job is the
+right home.)
+"""
+
+import sys
+import time
+
+from repro.core import Engine, EngineConfig
+from repro.obs import Obs
+from repro.programs import build_kernel
+
+MAX_OVERHEAD = 0.15     # counters must cost < 15% vs. disabled
+REPEATS = 5             # best-of to suppress scheduler noise
+WORKLOAD = ("maze", {"depth": 6, "solution": 0b101100})
+
+
+def run_once(obs_factory) -> float:
+    model, image = build_kernel(WORKLOAD[0], "rv32", **WORKLOAD[1])
+    config = EngineConfig(collect_path_inputs=False, obs=obs_factory())
+    engine = Engine(model, config=config)
+    engine.load_image(image)
+    start = time.perf_counter()
+    result = engine.explore()
+    elapsed = time.perf_counter() - start
+    assert result.instructions_executed > 0
+    return elapsed
+
+
+def best_of(obs_factory, repeats: int = REPEATS) -> float:
+    return min(run_once(obs_factory) for _ in range(repeats))
+
+
+def main(argv) -> int:
+    report_only = "--report" in argv
+    # Warm up model/decoder caches so the first config isn't penalized.
+    run_once(Obs.disabled)
+    disabled = best_of(Obs.disabled)
+    counters = best_of(Obs.default)
+    profiled = best_of(lambda: Obs(metrics=True, profile=True))
+    overhead = (counters - disabled) / disabled if disabled else 0.0
+    print("== telemetry overhead (best of %d, maze depth=%d) =="
+          % (REPEATS, WORKLOAD[1]["depth"]))
+    print("disabled:          %8.4fs" % disabled)
+    print("counters (default):%8.4fs  (%+.1f%%)" % (counters,
+                                                    100 * overhead))
+    print("counters+profiler: %8.4fs  (%+.1f%%)"
+          % (profiled, 100 * (profiled - disabled) / disabled))
+    if report_only:
+        return 0
+    if overhead >= MAX_OVERHEAD:
+        print("FAIL: default telemetry overhead %.1f%% >= %.0f%% budget"
+              % (100 * overhead, 100 * MAX_OVERHEAD))
+        return 1
+    print("OK: default telemetry overhead %.1f%% < %.0f%% budget"
+          % (100 * overhead, 100 * MAX_OVERHEAD))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -29,11 +29,12 @@ Quickstart::
 Subpackages: :mod:`repro.smt` (bitvector solver), :mod:`repro.adl` (the
 description language), :mod:`repro.ir` (register-transfer IR),
 :mod:`repro.isa` (generated models/tools), :mod:`repro.core` (the symbolic
-engine), :mod:`repro.programs` (workloads), :mod:`repro.baseline`
+engine), :mod:`repro.obs` (metrics / event tracing / profiling),
+:mod:`repro.programs` (workloads), :mod:`repro.baseline`
 (hand-written comparison engine).
 """
 
-from . import adl, baseline, core, ir, isa, programs, smt  # noqa: F401
+from . import adl, baseline, core, ir, isa, obs, programs, smt  # noqa: F401
 from .adl import builtin_spec_names, load_builtin_spec  # noqa: F401
 from .core import (  # noqa: F401
     ConcolicExplorer,
@@ -54,16 +55,17 @@ from .isa import (  # noqa: F401
     format_instruction,
     run_image,
 )
+from .obs import Obs  # noqa: F401
 from .smt import Solver  # noqa: F401
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
-    "adl", "baseline", "core", "ir", "isa", "programs", "smt",
+    "adl", "baseline", "core", "ir", "isa", "obs", "programs", "smt",
     "ArchModel", "Assembler", "ConcolicExplorer", "Defect", "Engine",
     "EngineConfig", "ExplorationResult", "Image", "MachineState",
-    "PathResult", "Simulator", "Solver",
+    "Obs", "PathResult", "Simulator", "Solver",
     "assemble", "build", "builtin_spec_names", "format_instruction",
     "load_builtin_spec", "run_image",
 ]

@@ -106,6 +106,7 @@ class Rv32NativeEngine:
     def explore(self) -> ExplorationResult:
         result = ExplorationResult()
         self._defect_sites = set()
+        solver_before = self.solver.stats.as_dict()
         started = time.perf_counter()
         root = NativeState(self._memory.fork())
         root.pc = self._entry
@@ -114,7 +115,8 @@ class Rv32NativeEngine:
             state = stack.pop()
             stack.extend(self._step(state, result))
         result.wall_time = time.perf_counter() - started
-        result.solver_stats = self.solver.stats.as_dict()
+        # Per-exploration delta, matching the generated engine.
+        result.solver_stats = self.solver.stats.delta_since(solver_before)
         return result
 
     # -- fetch/decode/execute ------------------------------------------------------

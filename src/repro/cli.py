@@ -9,10 +9,14 @@ Subcommands::
     trace <isa> <file.s>        run concretely with a full execution trace
     explore <isa> <file.s>      symbolic execution; report paths + defects
     cfg   <isa> <file.s>        recover and print the control-flow graph
+    stats <run.jsonl>           pretty-print a saved telemetry run
 
 Common options: ``--input TEXT`` (program input; ``\\xNN`` escapes),
 ``--base ADDR``, ``--max-steps N``.  ``explore`` adds ``--strategy``,
-``--merge``, ``--taint``, ``--uninit``, ``--region START:SIZE``.
+``--merge``, ``--taint``, ``--uninit``, ``--region START:SIZE``, plus
+the observability flags ``--telemetry-out FILE.jsonl`` (structured event
+trace; see docs/OBSERVABILITY.md) and ``--profile`` (per-phase time
+breakdown).
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from . import __version__
 from .core import Engine, EngineConfig, measure, trace_run
 from .isa import assemble, build, format_instruction, run_image
 from .isa.cfg import recover_cfg
+from .obs import JsonlSink, Obs, read_run
 
 __all__ = ["main"]
 
@@ -132,12 +137,23 @@ def cmd_trace(args) -> int:
 
 def cmd_explore(args) -> int:
     model, image = _load(args)
+    # Observability: counters always; profiler with --profile (and with
+    # --telemetry-out, so the saved run carries a per-phase breakdown);
+    # JSONL event sink with --telemetry-out.
+    want_profile = getattr(args, "profile", False)
+    telemetry_out = getattr(args, "telemetry_out", None)
+    obs = Obs(metrics=True, profile=want_profile or bool(telemetry_out))
+    sink = None
+    if telemetry_out:
+        sink = JsonlSink(telemetry_out)
+        obs.add_sink(sink)
     config = EngineConfig(
         max_steps_per_path=args.max_steps,
         check_uninit=args.uninit,
         check_tainted_control=args.taint,
         merge_states=args.merge,
         collect_coverage=True,
+        obs=obs,
     )
     engine = Engine(model, config=config, strategy=args.strategy,
                     seed=args.seed)
@@ -154,7 +170,71 @@ def cmd_explore(args) -> int:
                  defect.input_bytes))
     report = measure(model, image, result.visited_pcs)
     print(report.summary())
+    if want_profile:
+        print(obs.profiler.report())
+    if sink is not None:
+        summary = {"record": "run_summary",
+                   "isa": model.name,
+                   "paths": len(result.paths),
+                   "defects": len(result.defects),
+                   "instructions": result.instructions_executed,
+                   "wall_time": result.wall_time,
+                   "stop_reason": result.stop_reason,
+                   "telemetry": result.telemetry}
+        sink.write_meta(summary)
+        obs.close()
+        print("telemetry: %d events -> %s"
+              % (engine.obs.tracer.emitted, telemetry_out))
     return 2 if result.defects else 0
+
+
+def cmd_stats(args) -> int:
+    """Pretty-print a saved ``--telemetry-out`` JSONL run."""
+    events, meta = read_run(args.run)
+    by_kind = {}
+    for event in events:
+        by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+    print("run: %s (%d events, %d meta records)"
+          % (args.run, len(events), len(meta)))
+    if events:
+        span = events[-1].ts - events[0].ts
+        isas = sorted({event.isa for event in events})
+        print("isa: %s   span: %.3fs" % (", ".join(isas), span))
+    print("\nper-event-kind:")
+    print("  %-14s %8s" % ("kind", "count"))
+    print("  " + "-" * 23)
+    for kind in sorted(by_kind, key=by_kind.get, reverse=True):
+        print("  %-14s %8d" % (kind, by_kind[kind]))
+    for record in meta:
+        if record.get("record") != "run_summary":
+            continue
+        telemetry = record.get("telemetry", {})
+        print("\nrun summary: paths=%s defects=%s instructions=%s "
+              "time=%.3fs stop=%s"
+              % (record.get("paths"), record.get("defects"),
+                 record.get("instructions"),
+                 record.get("wall_time", 0.0),
+                 record.get("stop_reason")))
+        phases = telemetry.get("phases", {})
+        if phases:
+            print("\nper-phase:")
+            print("  %-12s %10s %12s %12s" % ("phase", "calls", "total",
+                                              "self"))
+            print("  " + "-" * 49)
+            ordered = sorted(phases.items(),
+                             key=lambda kv: kv[1].get("total_s", 0.0),
+                             reverse=True)
+            for name, stats in ordered:
+                print("  %-12s %10d %11.4fs %11.4fs"
+                      % (name, stats.get("calls", 0),
+                         stats.get("total_s", 0.0),
+                         stats.get("self_s", 0.0)))
+        counters = telemetry.get("metrics", {}).get("counters", {})
+        if counters:
+            print("\ncounters:")
+            for name in sorted(counters):
+                print("  %-24s %10d" % (name, counters[name]))
+    return 0
 
 
 def cmd_cfg(args) -> int:
@@ -204,11 +284,22 @@ def main(argv=None) -> int:
     explore.add_argument("--region", action="append",
                          metavar="START:SIZE",
                          help="map extra memory (repeatable)")
+    explore.add_argument("--telemetry-out", metavar="FILE.jsonl",
+                         help="write a structured event trace (JSONL); "
+                              "inspect with 'repro stats FILE.jsonl'")
+    explore.add_argument("--profile", action="store_true",
+                         help="print a per-phase time breakdown "
+                              "(decode/eval/solver/memory/strategy)")
+
+    stats = commands.add_parser(
+        "stats", help="pretty-print a saved --telemetry-out run")
+    stats.add_argument("run", help="telemetry JSONL file")
 
     args = parser.parse_args(argv)
     handler = {
         "isas": cmd_isas, "asm": cmd_asm, "dis": cmd_dis, "run": cmd_run,
         "trace": cmd_trace, "explore": cmd_explore, "cfg": cmd_cfg,
+        "stats": cmd_stats,
     }[args.command]
     return handler(args)
 

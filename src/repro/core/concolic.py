@@ -51,6 +51,7 @@ class ConcolicExplorer:
         engine = self.engine
         engine._result = self.result
         engine._defect_sites = set()
+        solver_before = engine.solver.stats.as_dict()
         try:
             queue: List[bytes] = [seed]
             while queue and len(self.runs) < max_runs:
@@ -64,7 +65,10 @@ class ConcolicExplorer:
                         queue.append(flip_input)
         finally:
             engine._result = None
-        self.result.solver_stats = self.engine.solver.stats.as_dict()
+        # Per-exploration delta (not lifetime-cumulative; see the same
+        # fix in Engine.explore).
+        self.result.solver_stats = self.engine.solver.stats.delta_since(
+            solver_before)
         return self.result
 
     # -- one concrete path --------------------------------------------------------

@@ -32,12 +32,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ir import nodes as N
 from ..isa.decoder import DecodeError
+from ..obs import Obs
 from ..smt import SAT, Solver
 from ..smt import terms as T
 from . import reporting as R
 from .memory import MemoryMap, Region, SymMemory
 from .state import SymState
-from .strategy import CoverageStrategy, Strategy, make_strategy
+from .strategy import (CoverageStrategy, ObservedStrategy, Strategy,
+                       make_strategy)
 
 __all__ = ["Engine", "EngineConfig", "EngineError"]
 
@@ -69,7 +71,8 @@ class EngineConfig:
                  dedup_defects: bool = True,
                  collect_path_inputs: bool = True,
                  collect_coverage: bool = False,
-                 cow_memory: bool = True):
+                 cow_memory: bool = True,
+                 obs: Optional[Obs] = None):
         self.max_steps_per_path = max_steps_per_path
         self.max_states = max_states
         self.max_paths = max_paths
@@ -104,6 +107,11 @@ class EngineConfig:
         self.collect_path_inputs = collect_path_inputs
         self.collect_coverage = collect_coverage
         self.cow_memory = cow_memory
+        # Observability handle (repro.obs).  None means "engine default":
+        # enabled counters, no event sink, no profiler — negligible
+        # overhead.  Pass Obs.disabled() for a zero-telemetry baseline,
+        # or an Obs with sinks/profiling for full tracing.
+        self.obs = obs
 
 
 class _Outcome:
@@ -136,13 +144,33 @@ class Engine:
         self.model = model
         self.config = config if config is not None else EngineConfig()
         self.solver = solver if solver is not None else Solver()
+        # -- observability wiring (see repro.obs) --------------------------
+        self.obs = (self.config.obs if self.config.obs is not None
+                    else Obs.default())
+        self.obs.set_isa(model.name)
+        self.solver.attach_obs(self.obs)
+        model.decoder.attach_obs(self.obs)
+        self._tracer = self.obs.tracer
+        self._profiler = self.obs.profiler
+        self._profile_on = self.obs.profiler.enabled
+        metrics = self.obs.metrics
+        self._c_steps = metrics.counter("engine.steps")
+        self._c_forks = metrics.counter("engine.forks")
+        self._c_paths = metrics.counter("engine.paths")
+        self._c_defects = metrics.counter("engine.defects")
+        self._c_pruned = metrics.counter("engine.pruned")
         self.strategy: Strategy = make_strategy(strategy, seed)
         self._coverage_feedback = (self.strategy
                                    if isinstance(self.strategy,
                                                  CoverageStrategy) else None)
         if self.config.merge_states:
             from .merge import MergingFrontier
-            self.strategy = MergingFrontier(self.strategy)
+            self.strategy = MergingFrontier(self.strategy, obs=self.obs)
+        # The strategy shim pays a few calls per push/pop; only mount it
+        # when a layer that needs it is active (profiling or tracing —
+        # sinks must be attached before the engine is constructed).
+        if self.obs.profiler.enabled or self.obs.tracer.enabled:
+            self.strategy = ObservedStrategy(self.strategy, self.obs)
         self.memory_map = MemoryMap()
         self._base_memory = SymMemory(self.memory_map,
                                       cow=self.config.cow_memory)
@@ -206,10 +234,17 @@ class Engine:
     # -- exploration --------------------------------------------------------------
 
     def explore(self, state: Optional[SymState] = None) -> R.ExplorationResult:
-        """Run exploration to exhaustion or a configured limit."""
+        """Run exploration to exhaustion or a configured limit.
+
+        Solver stats and telemetry counters attached to the result are
+        *per-exploration deltas*: exploring twice on one engine reports
+        each run's own numbers, not cumulative ones.
+        """
         result = R.ExplorationResult()
         self._result = result
         self._defect_sites = set()
+        solver_before = self.solver.stats.as_dict()
+        counters_before = self.obs.metrics.counters_snapshot()
         start_time = time.perf_counter()
         self.strategy.push(state if state is not None else
                            self.initial_state())
@@ -221,11 +256,17 @@ class Engine:
                 for successor in self._step(current, result):
                     if len(self.strategy) >= self.config.max_states:
                         result.states_pruned += 1
+                        self._c_pruned.inc()
                         continue
                     self.strategy.push(successor)
         finally:
             result.wall_time = time.perf_counter() - start_time
-            result.solver_stats = self.solver.stats.as_dict()
+            result.solver_stats = self.solver.stats.delta_since(
+                solver_before)
+            telemetry = self.obs.snapshot(counters_since=counters_before)
+            telemetry["solver"] = dict(result.solver_stats)
+            telemetry["wall_time"] = result.wall_time
+            result.telemetry = telemetry
             self._result = None
         return result
 
@@ -249,6 +290,10 @@ class Engine:
     def _step(self, state: SymState,
               result: R.ExplorationResult) -> List[SymState]:
         """Execute one instruction of ``state``; returns live successors."""
+        self._c_steps.inc()
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.set_context(state.state_id, state.pc)
         if self._coverage_feedback is not None:
             self._coverage_feedback.visit(state.pc)
         if self.config.collect_coverage:
@@ -256,9 +301,9 @@ class Engine:
         if self.config.max_visits_per_pc is not None:
             visits = state.visit_counts.get(state.pc, 0) + 1
             if visits > self.config.max_visits_per_pc:
-                result.paths.append(R.PathResult(
-                    "loop-limit", state, self._path_input(state)))
+                self._end_path(state, "loop-limit", result)
                 result.states_pruned += 1
+                self._c_pruned.inc()
                 return []
             state.visit_counts[state.pc] = visits
         hook = self._hooks.get(state.pc)
@@ -281,8 +326,15 @@ class Engine:
         for checker in self._checkers:
             checker(self, state, decoded)
         result.instructions_executed += 1
+        if tracer.enabled:
+            tracer.emit("step", state_id=state.state_id, pc=state.pc,
+                        instr=decoded.instruction.name)
         try:
-            finished = self._exec_block(state, decoded)
+            if self._profile_on:
+                with self._profiler.phase("eval"):
+                    finished = self._exec_block(state, decoded)
+            else:
+                finished = self._exec_block(state, decoded)
         except _PathEnd:
             return []
         successors: List[SymState] = []
@@ -296,25 +348,42 @@ class Engine:
                 self._finish_path(sub_state, outcome, result)
                 continue
             if sub_state.steps >= self.config.max_steps_per_path:
-                result.paths.append(R.PathResult(
-                    "depth-limit", sub_state,
-                    self._path_input(sub_state)))
+                self._end_path(sub_state, "depth-limit", result)
                 continue
             successors.extend(
                 self._advance_pc(sub_state, outcome, decoded, result))
         if len(finished) > 1:
-            result.states_forked += len(finished) - 1
+            forked = len(finished) - 1
+            result.states_forked += forked
+            self._c_forks.inc(forked)
+            if tracer.enabled:
+                tracer.emit("fork", state_id=state.state_id, pc=state.pc,
+                            children=[sub.state_id
+                                      for sub, _ in finished])
         return successors
 
     def _fetch(self, state: SymState):
+        decoder = self.model.decoder
+        if self._profile_on:
+            with self._profiler.phase("decode"):
+                decoded = self._fetch_inner(state, decoder)
+        else:
+            decoded = self._fetch_inner(state, decoder)
+        if self._tracer.enabled:
+            self._tracer.emit("decode_cache", state_id=state.state_id,
+                              pc=state.pc, hit=decoder.last_cache_hit,
+                              instr=decoded.instruction.name)
+        return decoded
+
+    def _fetch_inner(self, state: SymState, decoder):
         window = state.memory.concrete_window(
-            state.pc, self.model.decoder.max_length)
+            state.pc, decoder.max_length)
         if window is None:
             self._report(state, R.INVALID_INSTRUCTION, None,
                          "symbolic bytes in instruction stream")
             raise _PathEnd("symbolic-code")
         try:
-            return self.model.decoder.decode_bytes(window, state.pc)
+            return decoder.decode_bytes(window, state.pc)
         except DecodeError:
             self._report(state, R.INVALID_INSTRUCTION, None,
                          "undecodable instruction")
@@ -325,8 +394,23 @@ class Engine:
         exit_code = None
         if outcome.exit_code is not None and outcome.exit_code.is_const():
             exit_code = outcome.exit_code.value
+        self._end_path(state, "halted", result, exit_code)
+
+    def _end_path(self, state: SymState, status: str,
+                  result: R.ExplorationResult,
+                  exit_code: Optional[int] = None) -> None:
+        """Record one finished path (all PathResult creation funnels
+        through here so the ``path_end`` event cannot drift from the
+        result list — the acceptance invariant paths == path_end)."""
         result.paths.append(R.PathResult(
-            "halted", state, self._path_input(state), exit_code))
+            status, state, self._path_input(state), exit_code))
+        self._c_paths.inc()
+        if self._tracer.enabled:
+            data = {"status": status}
+            if exit_code is not None:
+                data["exit_code"] = exit_code
+            self._tracer.emit("path_end", state_id=state.state_id,
+                              pc=state.pc, **data)
 
     def _path_input(self, state: SymState) -> bytes:
         if not self.config.collect_path_inputs:
@@ -361,7 +445,15 @@ class Engine:
             branch.assume(T.eq(target, T.bv(value, target.width)))
             branch.pc = value
             successors.append(branch)
-        result.states_forked += max(0, len(successors) - 1)
+        if len(successors) > 1:
+            forked = len(successors) - 1
+            result.states_forked += forked
+            self._c_forks.inc(forked)
+            if self._tracer.enabled:
+                self._tracer.emit("fork", state_id=state.state_id,
+                                  pc=state.pc, indirect=True,
+                                  children=[s.state_id
+                                            for s in successors])
         return successors
 
     # -- block execution (with forking on symbolic conditions) ----------------------
@@ -642,11 +734,23 @@ class Engine:
             kind, state.pc, instruction, message,
             state.input_bytes_from_model(model), model,
             state.state_id, state.steps))
+        self._c_defects.inc()
+        if self._tracer.enabled:
+            self._tracer.emit("defect", state_id=state.state_id,
+                              pc=state.pc, defect_kind=kind,
+                              instr=instruction, message=message)
 
     # -- memory access with concretization ----------------------------------------------
 
     def _load(self, state: SymState, addr: T.Term, size: int, guards,
               decoded) -> T.Term:
+        if self._profile_on:
+            with self._profiler.phase("memory"):
+                return self._load_inner(state, addr, size, guards, decoded)
+        return self._load_inner(state, addr, size, guards, decoded)
+
+    def _load_inner(self, state: SymState, addr: T.Term, size: int, guards,
+                    decoded) -> T.Term:
         if not self._check_mapped(state, addr, guards, decoded,
                                   writing=False):
             raise _PathEnd("oob-load")
@@ -667,6 +771,14 @@ class Engine:
 
     def _store(self, state: SymState, addr: T.Term, value: T.Term,
                size: int, decoded) -> None:
+        if self._profile_on:
+            with self._profiler.phase("memory"):
+                self._store_inner(state, addr, value, size, decoded)
+            return
+        self._store_inner(state, addr, value, size, decoded)
+
+    def _store_inner(self, state: SymState, addr: T.Term, value: T.Term,
+                     size: int, decoded) -> None:
         if not self._check_mapped(state, addr, (), decoded, writing=True):
             raise _PathEnd("oob-store")
         if addr.is_const():

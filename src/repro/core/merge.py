@@ -101,12 +101,19 @@ class MergingFrontier(Strategy):
 
     name = "merging"
 
-    def __init__(self, inner: Strategy):
+    def __init__(self, inner: Strategy, obs=None):
         self.inner = inner
         self._by_pc: Dict[int, SymState] = {}
         self._dead: set = set()
         self._live = 0
         self.merges = 0
+        # Observability (see repro.obs): merge counter + 'merge' events.
+        self._obs = obs
+        if obs is not None:
+            self._merge_counter = obs.metrics.counter("engine.merges")
+        else:
+            from ..obs.metrics import NULL_COUNTER
+            self._merge_counter = NULL_COUNTER
 
     def push(self, state: SymState) -> None:
         candidate = self._by_pc.get(state.pc)
@@ -116,6 +123,12 @@ class MergingFrontier(Strategy):
                 self._dead.add(candidate.state_id)
                 self._live -= 1
                 self.merges += 1
+                self._merge_counter.inc()
+                if (self._obs is not None
+                        and self._obs.tracer.enabled):
+                    self._obs.tracer.emit(
+                        "merge", state_id=merged.state_id, pc=merged.pc,
+                        merged_from=[candidate.state_id, state.state_id])
                 if merged is not candidate:
                     self._by_pc[state.pc] = merged
                     self.inner.push(merged)

@@ -62,12 +62,17 @@ class ExplorationResult:
         self.instructions_executed = 0
         self.states_forked = 0
         self.states_pruned = 0
+        # Per-exploration solver stats delta (not the solver's lifetime
+        # cumulative numbers; see SolverStats.delta_since).
         self.solver_stats: Dict[str, float] = {}
         self.wall_time = 0.0
         self.stop_reason = "exhausted"
         # pc values executed (populated when the engine is configured
         # with collect_coverage=True); feeds repro.core.coverage.
         self.visited_pcs: set = set()
+        # Telemetry snapshot from the engine's Obs handle (repro.obs):
+        # {"isa", "metrics", "phases", "solver", "events_emitted", ...}.
+        self.telemetry: Dict[str, object] = {}
 
     def defects_by_kind(self) -> Dict[str, List[Defect]]:
         grouped: Dict[str, List[Defect]] = {}
@@ -82,10 +87,17 @@ class ExplorationResult:
         return None
 
     def summary(self) -> str:
-        lines = ["paths=%d defects=%d instructions=%d forks=%d time=%.3fs"
-                 % (len(self.paths), len(self.defects),
-                    self.instructions_executed, self.states_forked,
-                    self.wall_time)]
+        """One-line digest: paths, defects, steps, solver checks, time."""
+        solver_checks = int(self.solver_stats.get("checks", 0))
+        return ("paths=%d defects=%d instructions=%d forks=%d "
+                "solver_checks=%d time=%.3fs stop=%s"
+                % (len(self.paths), len(self.defects),
+                   self.instructions_executed, self.states_forked,
+                   solver_checks, self.wall_time, self.stop_reason))
+
+    def details(self) -> str:
+        """The summary line plus one line per defect."""
+        lines = [self.summary()]
         for defect in self.defects:
             lines.append("  %s at %#x: %s (input %r)"
                          % (defect.kind, defect.pc, defect.message,

@@ -16,7 +16,8 @@ from typing import Dict, Optional
 from .state import SymState
 
 __all__ = ["Strategy", "DfsStrategy", "BfsStrategy", "RandomStrategy",
-           "CoverageStrategy", "make_strategy", "STRATEGIES"]
+           "CoverageStrategy", "ObservedStrategy", "make_strategy",
+           "STRATEGIES"]
 
 
 class Strategy:
@@ -122,6 +123,54 @@ class CoverageStrategy(Strategy):
 
     def __len__(self):
         return len(self._heap)
+
+
+class ObservedStrategy(Strategy):
+    """Telemetry shim around any frontier (see :mod:`repro.obs`).
+
+    Counts pushes/pops, tracks the high-water frontier size, and charges
+    frontier operations to the ``strategy`` profiler phase.  The engine
+    wraps its strategy with this when observability is enabled; the
+    wrapped strategy is reachable as ``.inner`` (one level of wrapping
+    only — the merging frontier sits *inside* so merges are observed
+    too).
+    """
+
+    name = "observed"
+
+    def __init__(self, inner: Strategy, obs):
+        self.inner = inner
+        self._profiler = obs.profiler
+        self._profile_on = obs.profiler.enabled
+        self._pushes = obs.metrics.counter("strategy.pushes")
+        self._pops = obs.metrics.counter("strategy.pops")
+        self._peak = obs.metrics.gauge("strategy.frontier_peak")
+
+    def push(self, state: SymState) -> None:
+        if self._profile_on:
+            with self._profiler.phase("strategy"):
+                self.inner.push(state)
+        else:
+            self.inner.push(state)
+        self._pushes.inc()
+        self._peak.set_max(len(self.inner))
+
+    def pop(self) -> SymState:
+        if self._profile_on:
+            with self._profiler.phase("strategy"):
+                state = self.inner.pop()
+        else:
+            state = self.inner.pop()
+        self._pops.inc()
+        return state
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def __getattr__(self, name):
+        # Transparent delegation (e.g. MergingFrontier.merges,
+        # CoverageStrategy.visit) so callers can ignore the shim.
+        return getattr(self.inner, name)
 
 
 STRATEGIES = {

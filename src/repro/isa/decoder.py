@@ -72,6 +72,18 @@ class Decoder:
             for length in sorted(groups)]
         # A per-address decode cache: instruction memory rarely changes.
         self._cache: Dict[Tuple[int, bytes], Decoded] = {}
+        # Observability (attached by the engine; see repro.obs).  The
+        # engine reads ``last_cache_hit`` after each decode to emit the
+        # ``decode_cache`` event with full state context.
+        from ..obs.metrics import NULL_COUNTER
+        self._hit_counter = NULL_COUNTER
+        self._miss_counter = NULL_COUNTER
+        self.last_cache_hit = False
+
+    def attach_obs(self, obs) -> None:
+        """Count decode-cache hits/misses in ``obs.metrics``."""
+        self._hit_counter = obs.metrics.counter("decode.cache_hit")
+        self._miss_counter = obs.metrics.counter("decode.cache_miss")
 
     def decode_bytes(self, data: bytes, address: int) -> Decoded:
         """Decode the instruction starting at ``data[0]``.
@@ -85,6 +97,8 @@ class Decoder:
             window = bytes(data[:group.length])
             cached = self._cache.get((address, window))
             if cached is not None:
+                self.last_cache_hit = True
+                self._hit_counter.inc()
                 return cached
             word = self._model.word_from_bytes(window)
             instr = group.lookup(word)
@@ -97,7 +111,10 @@ class Decoder:
                             % (fields[name], instr.name))
                 decoded = Decoded(instr, address, word, fields)
                 self._cache[(address, window)] = decoded
+                self.last_cache_hit = False
+                self._miss_counter.inc()
                 return decoded
+        self.last_cache_hit = False
         raise DecodeError(address)
 
     @property

@@ -1,0 +1,129 @@
+"""Structured event tracing.
+
+Every interesting engine action becomes a typed :class:`Event` carrying
+the ISA name, the acting state's id, its program counter and a monotonic
+timestamp — enough to replay, diff and join runs across ISAs.  Events are
+fanned out to pluggable sinks (see :mod:`repro.obs.sinks`); with no sink
+attached the tracer is a single boolean check on the hot path.
+
+Event kinds
+-----------
+``step``          one instruction executed (``instr`` payload)
+``fork``          a state split (``children`` payload: new state ids)
+``merge``         two states merged (``merged_from`` payload)
+``solver_check``  one solver query (``result``, ``ms`` payload)
+``path_end``      a path finished (``status``, optional ``exit_code``)
+``defect``        a defect was filed (``kind``, ``message``)
+``decode_cache``  an instruction fetch (``hit`` payload)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["Event", "EventTracer", "EVENT_KINDS",
+           "STEP", "FORK", "MERGE", "SOLVER_CHECK", "PATH_END", "DEFECT",
+           "DECODE_CACHE"]
+
+STEP = "step"
+FORK = "fork"
+MERGE = "merge"
+SOLVER_CHECK = "solver_check"
+PATH_END = "path_end"
+DEFECT = "defect"
+DECODE_CACHE = "decode_cache"
+
+EVENT_KINDS = (STEP, FORK, MERGE, SOLVER_CHECK, PATH_END, DEFECT,
+               DECODE_CACHE)
+
+
+class Event:
+    """One telemetry record."""
+
+    __slots__ = ("kind", "isa", "state_id", "pc", "ts", "data")
+
+    def __init__(self, kind: str, isa: str, state_id: int, pc: int,
+                 ts: float, data: Optional[Dict[str, object]] = None):
+        self.kind = kind
+        self.isa = isa
+        self.state_id = state_id
+        self.pc = pc
+        self.ts = ts
+        self.data = data if data is not None else {}
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "kind": self.kind, "isa": self.isa,
+            "state": self.state_id, "pc": self.pc, "ts": self.ts,
+        }
+        if self.data:
+            record["data"] = self.data
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "Event":
+        return cls(record["kind"], record.get("isa", "?"),
+                   record.get("state", -1), record.get("pc", 0),
+                   record.get("ts", 0.0), record.get("data") or {})
+
+    def __eq__(self, other):
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.kind == other.kind and self.isa == other.isa
+                and self.state_id == other.state_id and self.pc == other.pc
+                and self.ts == other.ts and self.data == other.data)
+
+    def __repr__(self):
+        return "<Event %s isa=%s state=%d pc=%#x %r>" % (
+            self.kind, self.isa, self.state_id, self.pc, self.data)
+
+
+class EventTracer:
+    """Fans events out to sinks; near-free when no sink is attached.
+
+    The engine parks the current execution context on the tracer
+    (:meth:`set_context`) so that components without direct state access
+    — notably the solver — can emit fully-attributed events.
+    """
+
+    def __init__(self, isa: str = "?"):
+        self.isa = isa
+        self.sinks: List[object] = []
+        self.enabled = False
+        self.emitted = 0
+        # Current execution context (state id, pc) set by the engine.
+        self.ctx_state = -1
+        self.ctx_pc = 0
+
+    def add_sink(self, sink) -> None:
+        self.sinks.append(sink)
+        self.enabled = True
+
+    def remove_sink(self, sink) -> None:
+        self.sinks.remove(sink)
+        self.enabled = bool(self.sinks)
+
+    def set_context(self, state_id: int, pc: int) -> None:
+        self.ctx_state = state_id
+        self.ctx_pc = pc
+
+    def emit(self, kind: str, state_id: Optional[int] = None,
+             pc: Optional[int] = None, **data) -> None:
+        """Emit one event (no-op with no sinks; guard with ``enabled``
+        before building expensive payloads)."""
+        if not self.enabled:
+            return
+        event = Event(kind, self.isa,
+                      self.ctx_state if state_id is None else state_id,
+                      self.ctx_pc if pc is None else pc,
+                      time.monotonic(), data or None)
+        self.emitted += 1
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()

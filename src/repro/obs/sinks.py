@@ -1,0 +1,123 @@
+"""Event sinks: where traced events go.
+
+Three built-ins cover the main use cases:
+
+* :class:`RingBufferSink` — bounded in-memory buffer for tests and
+  programmatic inspection (never grows without bound).
+* :class:`JsonlSink` — one JSON object per line; the interchange format
+  consumed by ``repro stats`` and the benchmark sidecars.  A JSONL run
+  file is a stream of event records optionally followed by ``meta``
+  records (e.g. the end-of-run summary).
+* :class:`ConsoleSink` — human-readable live feed for debugging
+  generated semantics.
+
+Any object with ``emit(event)`` (and optional ``close()``) is a sink.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections import deque
+from typing import Dict, List, Optional, Tuple, Union
+
+from .events import Event
+
+__all__ = ["RingBufferSink", "JsonlSink", "ConsoleSink",
+           "read_jsonl", "read_run"]
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._buffer: deque = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def emit(self, event: Event) -> None:
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(event)
+
+    def events(self, kind: Optional[str] = None) -> List[Event]:
+        if kind is None:
+            return list(self._buffer)
+        return [event for event in self._buffer if event.kind == kind]
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self.dropped = 0
+
+    def __len__(self):
+        return len(self._buffer)
+
+
+class JsonlSink:
+    """Streams events as JSON lines to a path or a file-like object."""
+
+    def __init__(self, target: Union[str, io.TextIOBase]):
+        if isinstance(target, str):
+            self._handle = open(target, "w")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self.written = 0
+
+    def emit(self, event: Event) -> None:
+        self._handle.write(json.dumps(event.to_dict(),
+                                      separators=(",", ":")))
+        self._handle.write("\n")
+        self.written += 1
+
+    def write_meta(self, record: Dict[str, object]) -> None:
+        """Append a non-event record (tagged ``"meta"``) to the stream."""
+        tagged = {"kind": "meta"}
+        tagged.update(record)
+        tagged["kind"] = "meta"
+        self._handle.write(json.dumps(tagged, separators=(",", ":")))
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+
+class ConsoleSink:
+    """Human-readable one-line-per-event feed (stderr by default)."""
+
+    def __init__(self, stream=None):
+        import sys
+        self._stream = stream if stream is not None else sys.stderr
+
+    def emit(self, event: Event) -> None:
+        extra = " ".join("%s=%r" % item for item in
+                         sorted(event.data.items()))
+        self._stream.write("[obs] %-12s isa=%-8s state=%-4d pc=%#06x %s\n"
+                           % (event.kind, event.isa, event.state_id,
+                              event.pc, extra))
+
+
+def read_jsonl(path: str) -> List[Dict[str, object]]:
+    """All records (events and meta) of a JSONL run file, as dicts."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def read_run(path: str) -> Tuple[List[Event], List[Dict[str, object]]]:
+    """Split a JSONL run file into (events, meta records)."""
+    events: List[Event] = []
+    meta: List[Dict[str, object]] = []
+    for record in read_jsonl(path):
+        if record.get("kind") == "meta":
+            meta.append(record)
+        else:
+            events.append(Event.from_dict(record))
+    return events, meta

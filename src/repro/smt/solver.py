@@ -32,7 +32,12 @@ __all__ = ["Solver", "SolverStats", "SAT", "UNSAT"]
 
 
 class SolverStats:
-    """Counters for the throughput/ablation benchmarks."""
+    """Counters for the throughput/ablation benchmarks.
+
+    Stats are *cumulative over the solver's lifetime*; callers that need
+    per-run numbers (e.g. one ``Engine.explore``) must snapshot with
+    :meth:`as_dict` at the start and diff with :meth:`delta_since`.
+    """
 
     def __init__(self):
         self.checks = 0
@@ -45,6 +50,11 @@ class SolverStats:
 
     def as_dict(self) -> Dict[str, float]:
         return dict(self.__dict__)
+
+    def delta_since(self, before: Dict[str, float]) -> Dict[str, float]:
+        """Stats accumulated since an earlier :meth:`as_dict` snapshot."""
+        return {key: value - before.get(key, 0)
+                for key, value in self.__dict__.items()}
 
     def __repr__(self):
         return "SolverStats(%s)" % ", ".join(
@@ -65,6 +75,24 @@ class Solver:
         self._model_cache_size = model_cache_size
         self._last_model: Optional[Dict[str, int]] = None
         self.stats = SolverStats()
+        # Observability (attached by the engine; see repro.obs).
+        from ..obs.metrics import NULL_HISTOGRAM
+        from ..obs.profile import PhaseProfiler
+        self._obs_tracer = None
+        self._obs_profiler = PhaseProfiler(enabled=False)
+        self._check_hist = NULL_HISTOGRAM
+
+    def attach_obs(self, obs) -> None:
+        """Wire an :class:`repro.obs.Obs` handle into this solver.
+
+        Adds a ``solver`` profiler phase around every :meth:`check`, a
+        ``solver.check_ms`` latency histogram, and (when the tracer has a
+        sink) one ``solver_check`` event per query, attributed to the
+        engine's current state/pc context.
+        """
+        self._obs_tracer = obs.tracer
+        self._obs_profiler = obs.profiler
+        self._check_hist = obs.metrics.histogram("solver.check_ms")
 
     # -- assertion management -------------------------------------------------
 
@@ -91,15 +119,26 @@ class Solver:
     def check(self, extra: Iterable[T.Term] = ()) -> str:
         """Check satisfiability of the assertions plus ``extra`` terms."""
         self.stats.checks += 1
+        profiler = self._obs_profiler
         start = time.perf_counter()
         try:
-            result = self._check(list(extra))
+            if profiler.enabled:
+                with profiler.phase("solver"):
+                    result = self._check(list(extra))
+            else:
+                result = self._check(list(extra))
         finally:
-            self.stats.solve_time += time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            self.stats.solve_time += elapsed
+        self._check_hist.observe(elapsed * 1000.0)
         if result == SAT:
             self.stats.sat_results += 1
         else:
             self.stats.unsat_results += 1
+        tracer = self._obs_tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit("solver_check", result=result,
+                        ms=round(elapsed * 1000.0, 4))
         return result
 
     def _check(self, extra: List[T.Term]) -> str:

@@ -42,11 +42,22 @@ class TestExplorationResult:
         assert result.first_defect(TRAP).kind == TRAP
         assert result.first_defect("nothing") is None
 
-    def test_summary_mentions_counts_and_defects(self):
+    def test_summary_is_one_line_with_counts(self):
         result = ExplorationResult()
         result.defects.append(make_defect())
         result.paths.append(PathResult("halted", None, b"", 0))
+        result.solver_stats = {"checks": 12}
         text = result.summary()
+        assert "\n" not in text
+        assert "paths=1" in text
+        assert "defects=1" in text
+        assert "solver_checks=12" in text
+
+    def test_details_mentions_defects(self):
+        result = ExplorationResult()
+        result.defects.append(make_defect())
+        result.paths.append(PathResult("halted", None, b"", 0))
+        text = result.details()
         assert "paths=1" in text
         assert "reachable-trap" in text
 

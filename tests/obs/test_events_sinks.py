@@ -1,0 +1,135 @@
+"""Event tracer and sinks: round-trips, ring buffer, console format."""
+
+import io
+
+from repro.obs.events import Event, EventTracer
+from repro.obs.sinks import (
+    ConsoleSink,
+    JsonlSink,
+    RingBufferSink,
+    read_jsonl,
+    read_run,
+)
+
+
+def make_tracer(sink):
+    tracer = EventTracer(isa="rv32")
+    tracer.add_sink(sink)
+    return tracer
+
+
+class TestTracer:
+    def test_disabled_without_sink(self):
+        tracer = EventTracer()
+        assert not tracer.enabled
+        tracer.emit("step", state_id=1, pc=0x1000)  # no-op, no error
+        assert tracer.emitted == 0
+
+    def test_context_fallback(self):
+        ring = RingBufferSink()
+        tracer = make_tracer(ring)
+        tracer.set_context(7, 0x2000)
+        tracer.emit("solver_check", result="sat")
+        event = ring.events()[0]
+        assert event.state_id == 7
+        assert event.pc == 0x2000
+        assert event.data == {"result": "sat"}
+
+    def test_explicit_ids_override_context(self):
+        ring = RingBufferSink()
+        tracer = make_tracer(ring)
+        tracer.set_context(7, 0x2000)
+        tracer.emit("step", state_id=3, pc=0x1234)
+        event = ring.events()[0]
+        assert (event.state_id, event.pc) == (3, 0x1234)
+
+    def test_fan_out_to_multiple_sinks(self):
+        a, b = RingBufferSink(), RingBufferSink()
+        tracer = make_tracer(a)
+        tracer.add_sink(b)
+        tracer.emit("step", state_id=0, pc=0)
+        assert len(a) == 1 and len(b) == 1
+
+    def test_remove_sink_disables(self):
+        ring = RingBufferSink()
+        tracer = make_tracer(ring)
+        tracer.remove_sink(ring)
+        assert not tracer.enabled
+
+
+class TestRingBuffer:
+    def test_capacity_and_dropped(self):
+        ring = RingBufferSink(capacity=3)
+        tracer = make_tracer(ring)
+        for index in range(5):
+            tracer.emit("step", state_id=index, pc=index)
+        assert len(ring) == 3
+        assert ring.dropped == 2
+        assert [event.state_id for event in ring.events()] == [2, 3, 4]
+
+    def test_kind_filter(self):
+        ring = RingBufferSink()
+        tracer = make_tracer(ring)
+        tracer.emit("step", state_id=0, pc=0)
+        tracer.emit("fork", state_id=0, pc=0, children=[1, 2])
+        assert len(ring.events("fork")) == 1
+        assert ring.events("fork")[0].data["children"] == [1, 2]
+
+
+class TestJsonlRoundTrip:
+    def test_emit_parse_same_events(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        sink = JsonlSink(path)
+        tracer = make_tracer(sink)
+        tracer.emit("step", state_id=0, pc=0x1000, instr="addi")
+        tracer.emit("fork", state_id=0, pc=0x1004, children=[1, 2])
+        tracer.emit("path_end", state_id=2, pc=0x1010, status="halted",
+                    exit_code=0)
+        tracer.close()
+
+        events, meta = read_run(path)
+        assert meta == []
+        assert [event.kind for event in events] == ["step", "fork",
+                                                    "path_end"]
+        assert all(event.isa == "rv32" for event in events)
+        assert events[1].data["children"] == [1, 2]
+        assert events[2].data == {"status": "halted", "exit_code": 0}
+        # Full dict round-trip: to_dict -> from_dict is the identity.
+        for event in events:
+            assert Event.from_dict(event.to_dict()) == event
+
+    def test_meta_records_separated(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        sink = JsonlSink(path)
+        tracer = make_tracer(sink)
+        tracer.emit("step", state_id=0, pc=0)
+        sink.write_meta({"record": "run_summary", "paths": 3})
+        sink.close()
+        events, meta = read_run(path)
+        assert len(events) == 1
+        assert len(meta) == 1
+        assert meta[0]["paths"] == 3
+        assert len(read_jsonl(path)) == 2
+
+    def test_timestamps_monotonic(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        tracer = make_tracer(JsonlSink(path))
+        for index in range(10):
+            tracer.emit("step", state_id=index, pc=index)
+        tracer.close()
+        events, _ = read_run(path)
+        stamps = [event.ts for event in events]
+        assert stamps == sorted(stamps)
+
+
+class TestConsoleSink:
+    def test_human_readable_line(self):
+        stream = io.StringIO()
+        tracer = make_tracer(ConsoleSink(stream))
+        tracer.emit("defect", state_id=4, pc=0x1008,
+                    defect_kind="division-by-zero")
+        line = stream.getvalue()
+        assert "defect" in line
+        assert "rv32" in line
+        assert "0x1008" in line
+        assert "division-by-zero" in line

@@ -1,0 +1,140 @@
+"""Metrics registry: counter/gauge/histogram math, merge, deltas."""
+
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_default_and_amount(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_merge_adds(self):
+        a, b = Counter("c"), Counter("c")
+        a.inc(3)
+        b.inc(4)
+        a.merge(b)
+        assert a.value == 7
+
+
+class TestGauge:
+    def test_set_and_set_max(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.set_max(5)
+        assert gauge.value == 10
+        gauge.set_max(12)
+        assert gauge.value == 12
+
+
+class TestHistogram:
+    def test_basic_stats(self):
+        hist = Histogram("h")
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.total == 10.0
+        assert hist.min == 1.0
+        assert hist.max == 4.0
+        assert hist.mean == 2.5
+
+    def test_nearest_rank_percentiles(self):
+        hist = Histogram("h")
+        for value in range(1, 101):          # 1..100
+            hist.observe(float(value))
+        assert hist.percentile(50) == 50.0   # nearest-rank
+        assert hist.percentile(90) == 90.0
+        assert hist.percentile(99) == 99.0
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 100.0
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("h").percentile(50) == 0.0
+
+    def test_thinning_keeps_exact_count_sum(self):
+        hist = Histogram("h", max_samples=64)
+        for value in range(1000):
+            hist.observe(float(value))
+        assert hist.count == 1000
+        assert hist.total == sum(range(1000))
+        assert hist.max == 999.0
+        # Thinned samples still give a sane median.
+        assert 300 <= hist.percentile(50) <= 700
+
+    def test_merge(self):
+        a, b = Histogram("h"), Histogram("h")
+        for value in [1.0, 2.0]:
+            a.observe(value)
+        for value in [10.0, 20.0]:
+            b.observe(value)
+        a.merge(b)
+        assert a.count == 4
+        assert a.total == 33.0
+        assert a.min == 1.0
+        assert a.max == 20.0
+
+    def test_snapshot_keys(self):
+        hist = Histogram("h")
+        hist.observe(2.0)
+        snap = hist.snapshot()
+        for key in ("count", "sum", "min", "max", "mean", "p50", "p90",
+                    "p99"):
+            assert key in snap
+
+
+class TestRegistry:
+    def test_instruments_are_idempotent_per_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+    def test_disabled_registry_hands_out_nulls(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("x") is NULL_COUNTER
+        assert registry.gauge("y") is NULL_GAUGE
+        assert registry.histogram("z") is NULL_HISTOGRAM
+        # Null instruments swallow writes.
+        registry.counter("x").inc(100)
+        registry.histogram("z").observe(1.0)
+        assert registry.snapshot()["counters"] == {}
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.gauge("b").set(7)
+        registry.histogram("c").observe(1.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"a": 2}
+        assert snap["gauges"] == {"b": 7}
+        assert snap["histograms"]["c"]["count"] == 1
+
+    def test_delta_since(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a")
+        counter.inc(5)
+        before = registry.counters_snapshot()
+        counter.inc(3)
+        registry.counter("new").inc(1)
+        delta = registry.delta_since(before)
+        assert delta == {"a": 3, "new": 1}
+
+    def test_registry_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("hits").inc(1)
+        b.counter("hits").inc(2)
+        b.counter("only_b").inc(9)
+        b.histogram("lat").observe(4.0)
+        a.merge(b)
+        assert a.counter("hits").value == 3
+        assert a.counter("only_b").value == 9
+        assert a.histogram("lat").count == 1

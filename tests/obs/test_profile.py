@@ -1,0 +1,113 @@
+"""Phase profiler: nesting, self-time, decorator, disabled no-op."""
+
+import time
+
+from repro.obs.profile import PhaseProfiler
+
+
+def spin(seconds):
+    """Busy-wait so perf_counter time is attributable to this scope."""
+    end = time.perf_counter() + seconds
+    while time.perf_counter() < end:
+        pass
+
+
+class TestScopes:
+    def test_single_phase_counts_calls_and_time(self):
+        profiler = PhaseProfiler()
+        for _ in range(3):
+            with profiler.phase("solver"):
+                spin(0.002)
+        stats = profiler.stats("solver")
+        assert stats.calls == 3
+        assert stats.total >= 0.006
+        assert abs(stats.total - stats.self_time) < 1e-9
+
+    def test_nesting_attributes_self_time(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("eval"):
+            spin(0.002)
+            with profiler.phase("memory"):
+                spin(0.002)
+                with profiler.phase("solver"):
+                    spin(0.002)
+        eval_stats = profiler.stats("eval")
+        memory_stats = profiler.stats("memory")
+        solver_stats = profiler.stats("solver")
+        # Inclusive totals nest.
+        assert eval_stats.total >= memory_stats.total >= solver_stats.total
+        # Self time excludes children.
+        assert eval_stats.self_time < eval_stats.total
+        assert memory_stats.self_time < memory_stats.total
+        assert abs(solver_stats.self_time - solver_stats.total) < 1e-9
+        # The parent's self time is roughly total minus the child.
+        assert (abs((eval_stats.total - memory_stats.total)
+                    - eval_stats.self_time) < 0.002)
+
+    def test_sibling_scopes_both_charged_to_parent(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("eval"):
+            with profiler.phase("solver"):
+                spin(0.001)
+            with profiler.phase("solver"):
+                spin(0.001)
+        assert profiler.stats("solver").calls == 2
+        assert profiler.stats("eval").self_time < profiler.stats(
+            "eval").total
+
+    def test_recursive_same_phase(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("eval"):
+            with profiler.phase("eval"):
+                spin(0.001)
+        stats = profiler.stats("eval")
+        assert stats.calls == 2
+        # Self time never exceeds inclusive total across the pair.
+        assert stats.self_time <= stats.total + 1e-9
+
+
+class TestDecorator:
+    def test_wrap_times_every_call(self):
+        profiler = PhaseProfiler()
+
+        @profiler.wrap("decode")
+        def decode():
+            spin(0.001)
+            return 42
+
+        assert decode() == 42
+        assert decode() == 42
+        assert profiler.stats("decode").calls == 2
+
+
+class TestDisabled:
+    def test_disabled_profiler_records_nothing(self):
+        profiler = PhaseProfiler(enabled=False)
+        with profiler.phase("solver"):
+            pass
+        assert profiler.snapshot() == {}
+        assert profiler.stats("solver").calls == 0
+
+    def test_disabled_phase_is_shared_noop(self):
+        profiler = PhaseProfiler(enabled=False)
+        assert profiler.phase("a") is profiler.phase("b")
+
+
+class TestReporting:
+    def test_snapshot_and_report(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("decode"):
+            spin(0.001)
+        snap = profiler.snapshot()
+        assert snap["decode"]["calls"] == 1
+        assert snap["decode"]["total_s"] > 0
+        text = profiler.report()
+        assert "decode" in text
+        assert "calls" in text
+
+    def test_reset(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("decode"):
+            pass
+        profiler.reset()
+        assert profiler.snapshot() == {}
