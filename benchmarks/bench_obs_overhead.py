@@ -22,12 +22,21 @@ import sys
 import time
 
 from repro.core import Engine, EngineConfig
-from repro.obs import Obs
+from repro.obs import FlightRecorder, Obs
 from repro.programs import build_kernel
 
 MAX_OVERHEAD = 0.15     # counters must cost < 15% vs. disabled
 REPEATS = 5             # best-of to suppress scheduler noise
 WORKLOAD = ("maze", {"depth": 6, "solution": 0b101100})
+
+
+def _recording() -> Obs:
+    """Counters + a live FlightRecorder sink (the in-process execution
+    tree).  Measured and reported, but NOT part of the guard: the
+    recorder is default-off like every sink, so its cost is opt-in."""
+    obs = Obs.default()
+    obs.add_sink(FlightRecorder())
+    return obs
 
 
 def run_once(obs_factory) -> float:
@@ -53,6 +62,7 @@ def main(argv) -> int:
     disabled = best_of(Obs.disabled)
     counters = best_of(Obs.default)
     profiled = best_of(lambda: Obs(metrics=True, profile=True))
+    recording = best_of(_recording)
     overhead = (counters - disabled) / disabled if disabled else 0.0
     print("== telemetry overhead (best of %d, maze depth=%d) =="
           % (REPEATS, WORKLOAD[1]["depth"]))
@@ -61,6 +71,8 @@ def main(argv) -> int:
                                                     100 * overhead))
     print("counters+profiler: %8.4fs  (%+.1f%%)"
           % (profiled, 100 * (profiled - disabled) / disabled))
+    print("counters+recorder: %8.4fs  (%+.1f%%)  [opt-in, not guarded]"
+          % (recording, 100 * (recording - disabled) / disabled))
     if report_only:
         return 0
     if overhead >= MAX_OVERHEAD:

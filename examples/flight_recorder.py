@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Flight recorder tour: execution trees and ADL spec-coverage diffs.
+
+Explores the dispatcher kernel twice — once depth-first, once with the
+coverage-guided frontier — under the same instruction budget, with a
+:class:`FlightRecorder` sink building the execution tree live.  Prints
+each run's reconstructed tree, then diffs which ADL semantic rules each
+strategy exercised: with a tight budget the two frontiers walk different
+handlers, so the spec-coverage reports disagree in inspectable ways.
+
+Run:  python examples/flight_recorder.py
+"""
+
+from repro.core import Engine, EngineConfig
+from repro.obs import FlightRecorder, Obs, RingBufferSink, SpecCoverage
+from repro.programs import build_kernel
+
+ISA = "rv32"
+BUDGET = 260          # instructions — tight enough that strategy matters
+
+
+def record(strategy):
+    """Explore under ``strategy``; return (result, tree, spec coverage)."""
+    model, image = build_kernel("dispatcher", ISA, rounds=3)
+    obs = Obs.default()
+    ring = RingBufferSink(capacity=200000)
+    recorder = FlightRecorder()
+    obs.add_sink(ring)
+    obs.add_sink(recorder)
+    engine = Engine(model, strategy=strategy,
+                    config=EngineConfig(obs=obs, max_instructions=BUDGET))
+    engine.load_image(image)
+    result = engine.explore()
+    coverage = SpecCoverage.from_events(ring.events())
+    return result, recorder.tree, coverage
+
+
+def main():
+    runs = {}
+    for strategy in ("dfs", "coverage"):
+        result, tree, coverage = record(strategy)
+        runs[strategy] = (result, tree, coverage)
+
+        stats = tree.stats()
+        print("=== %s (budget: %d instructions) ===" % (strategy, BUDGET))
+        print("paths=%d defects=%d | tree: %d nodes, %d edges, "
+              "%d leaves" % (len(result.paths), len(result.defects),
+                             stats["nodes"], stats["edges"],
+                             stats["leaves"]))
+        print(tree.to_ascii(max_nodes=40))
+        print(coverage.per_isa[ISA].summary())
+        print()
+
+    # The recorder's tree is exact: leaves correspond one-to-one with the
+    # engine's completed paths on every run.
+    for strategy, (result, tree, _) in runs.items():
+        assert len(tree.leaves()) == len(result.paths), strategy
+
+    # -- spec-coverage diff ------------------------------------------
+    cov_dfs = runs["dfs"][2].per_isa[ISA]
+    cov_cgs = runs["coverage"][2].per_isa[ISA]
+    only_dfs = sorted(set(cov_dfs.covered) - set(cov_cgs.covered))
+    only_cgs = sorted(set(cov_cgs.covered) - set(cov_dfs.covered))
+
+    print("=== spec-coverage diff (dfs vs coverage) ===")
+    print("rules only dfs hit      : %s" % (", ".join(only_dfs) or "-"))
+    print("rules only coverage hit : %s" % (", ".join(only_cgs) or "-"))
+    print("rule ratio: dfs %.2f, coverage %.2f"
+          % (cov_dfs.rule_ratio, cov_cgs.rule_ratio))
+
+    # Both attribution paths stayed total: every executed instruction
+    # maps to a rule with a valid line span in the ADL spec.
+    assert cov_dfs.unattributed == {} and cov_cgs.unattributed == {}
+    print("\nevery executed instruction attributed to an ADL rule on "
+          "both runs")
+
+
+if __name__ == "__main__":
+    main()

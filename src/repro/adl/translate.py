@@ -29,10 +29,99 @@ from ..ir import nodes as N
 from . import ast as A
 from .errors import AdlSemanticError
 
-__all__ = ["translate_instruction", "TranslationContext"]
+__all__ = ["translate_instruction", "TranslationContext",
+           "RuleProvenance", "rule_provenance"]
 
 _COMPARISONS = frozenset({"eq", "ne", "ult", "ule", "ugt", "uge",
                           "slt", "sle", "sgt", "sge"})
+
+
+class RuleProvenance:
+    """Where one semantic rule (an ``instruction`` block) came from.
+
+    Recorded at translation time so every executed instruction can be
+    attributed back to the ADL source that produced its IR — the feedback
+    signal behind ``repro speccov`` (spec-coverage reports for ISA
+    porters).  ``line_lo``/``line_hi`` span the whole block: declaration
+    header through the deepest semantics statement/expression.
+    """
+
+    __slots__ = ("instruction", "mnemonic", "encoding",
+                 "line_lo", "line_hi", "operands")
+
+    def __init__(self, instruction: str, mnemonic: str, encoding: str,
+                 line_lo: int, line_hi: int, operands: Sequence[str] = ()):
+        self.instruction = instruction
+        self.mnemonic = mnemonic
+        self.encoding = encoding
+        self.line_lo = line_lo
+        self.line_hi = line_hi
+        self.operands = tuple(operands)
+
+    @property
+    def span(self):
+        return (self.line_lo, self.line_hi)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"instruction": self.instruction, "mnemonic": self.mnemonic,
+                "encoding": self.encoding, "lines": [self.line_lo,
+                                                     self.line_hi],
+                "operands": list(self.operands)}
+
+    def __repr__(self):
+        return "<RuleProvenance %s (%s) lines %d-%d>" % (
+            self.instruction, self.mnemonic, self.line_lo, self.line_hi)
+
+
+def _span_lines(node) -> List[int]:
+    """All source line numbers reachable from an AST statement/expr."""
+    lines: List[int] = []
+    stack = [node]
+    while stack:
+        item = stack.pop()
+        line = getattr(item, "line", 0)
+        if line:
+            lines.append(line)
+        if isinstance(item, A.AIf):
+            stack.extend(item.then_body)
+            stack.extend(item.else_body)
+            stack.append(item.cond)
+        elif isinstance(item, A.ALocal):
+            stack.append(item.value)
+        elif isinstance(item, A.AAssign):
+            stack.extend((item.target, item.value))
+        elif isinstance(item, A.AStore):
+            stack.extend((item.addr, item.value))
+        elif isinstance(item, A.AOut):
+            stack.append(item.value)
+        elif isinstance(item, A.AHalt):
+            stack.append(item.code)
+        elif isinstance(item, A.ATrap):
+            stack.append(item.code)
+        elif isinstance(item, A.SExpr):
+            stack.extend(_children(item))
+    return lines
+
+
+def rule_provenance(spec: A.ArchSpec, instr: A.InstrDecl) -> RuleProvenance:
+    """Build the provenance record for one instruction declaration.
+
+    The line span covers the declaration line, every operand declaration
+    and every line mentioned anywhere in the semantics block, so an
+    annotated-spec report highlights the full rule body.
+    """
+    lines = [instr.line] if instr.line else []
+    for operand in instr.operands:
+        if operand.line:
+            lines.append(operand.line)
+    for stmt in instr.semantics:
+        lines.extend(_span_lines(stmt))
+    if not lines:
+        lines = [0]
+    mnemonic = instr.syntax.split()[0] if instr.syntax else instr.name
+    return RuleProvenance(instr.name, mnemonic, instr.encoding,
+                          min(lines), max(lines),
+                          [op.name for op in instr.operands])
 
 
 class TranslationContext:

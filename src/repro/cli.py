@@ -10,6 +10,11 @@ Subcommands::
     explore <isa> <file.s>      symbolic execution; report paths + defects
     cfg   <isa> <file.s>        recover and print the control-flow graph
     stats <run.jsonl>           pretty-print a saved telemetry run
+    tree  <run.jsonl>           reconstruct the execution tree of a run
+                                (``--format ascii|dot|json``, ``--out``)
+    speccov <run.jsonl>         ADL spec coverage of a run — which
+                                semantic rules ran (``--min-ratio`` CI
+                                gate, ``--annotate`` spec margin view)
 
 Common options: ``--input TEXT`` (program input; ``\\xNN`` escapes),
 ``--base ADDR``, ``--max-steps N``.  ``explore`` adds ``--strategy``,
@@ -17,6 +22,12 @@ Common options: ``--input TEXT`` (program input; ``\\xNN`` escapes),
 the observability flags ``--telemetry-out FILE.jsonl`` (structured event
 trace; see docs/OBSERVABILITY.md) and ``--profile`` (per-phase time
 breakdown).
+
+The three telemetry readers (``stats``, ``tree``, ``speccov``) share
+one loader: a missing, empty or unparseable run file is a one-line
+error on stderr and exit code 1 (never a traceback); a truncated
+trailing line — the usual artifact of a killed run — is skipped with a
+warning and the remaining events are used.
 """
 
 from __future__ import annotations
@@ -28,7 +39,8 @@ from . import __version__
 from .core import Engine, EngineConfig, measure, trace_run
 from .isa import assemble, build, format_instruction, run_image
 from .isa.cfg import recover_cfg
-from .obs import JsonlSink, Obs, read_run
+from .obs import (ExecutionTree, JsonlSink, Obs, SpecCoverage,
+                  TelemetryError, load_run)
 
 __all__ = ["main"]
 
@@ -168,7 +180,10 @@ def cmd_explore(args) -> int:
         print("defect: %-24s pc=%#x instr=%-8s input=%r"
               % (defect.kind, defect.pc, defect.instruction,
                  defect.input_bytes))
-    report = measure(model, image, result.visited_pcs)
+    # Unified coverage: address-level (this program) + rule-level (the
+    # ADL spec), the latter via image-based attribution so no event sink
+    # is required.
+    report = measure(model, image, result.visited_pcs, spec_coverage=True)
     print(report.summary())
     if want_profile:
         print(obs.profiler.report())
@@ -188,9 +203,30 @@ def cmd_explore(args) -> int:
     return 2 if result.defects else 0
 
 
+def _open_run(path):
+    """Load a telemetry run for the reader subcommands.
+
+    Never lets a :class:`TelemetryError` escape as a traceback: a
+    missing/empty/corrupt file is a one-line stderr message and the
+    caller returns exit code 1.  Reader warnings (skipped truncated
+    lines) go to stderr so stdout stays machine-consumable.
+    """
+    try:
+        run = load_run(path)
+    except TelemetryError as error:
+        sys.stderr.write("error: %s\n" % error)
+        return None
+    for warning in run.warnings:
+        sys.stderr.write("warning: %s\n" % warning)
+    return run
+
+
 def cmd_stats(args) -> int:
     """Pretty-print a saved ``--telemetry-out`` JSONL run."""
-    events, meta = read_run(args.run)
+    run = _open_run(args.run)
+    if run is None:
+        return 1
+    events, meta = run.events, run.meta
     by_kind = {}
     for event in events:
         by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
@@ -234,6 +270,78 @@ def cmd_stats(args) -> int:
             print("\ncounters:")
             for name in sorted(counters):
                 print("  %-24s %10d" % (name, counters[name]))
+    return 0
+
+
+def cmd_tree(args) -> int:
+    """Reconstruct the execution tree of a saved run (flight recorder)."""
+    run = _open_run(args.run)
+    if run is None:
+        return 1
+    tree = ExecutionTree.from_events(run.events)
+    if not tree.nodes:
+        sys.stderr.write("error: %s carries no step/fork events (was the "
+                         "run traced with --telemetry-out?)\n" % args.run)
+        return 1
+    if args.format == "dot":
+        text = tree.to_dot()
+    elif args.format == "json":
+        text = tree.to_json(indent=2)
+    else:
+        text = tree.to_ascii(max_nodes=args.max_nodes)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        stats = tree.stats()
+        print("tree: %d nodes, %d edges, %d leaves -> %s"
+              % (stats["nodes"], stats["edges"], stats["leaves"], args.out))
+    else:
+        print(text)
+    return 0
+
+
+def cmd_speccov(args) -> int:
+    """ADL spec coverage of a saved run: which semantic rules ran."""
+    run = _open_run(args.run)
+    if run is None:
+        return 1
+    cov = SpecCoverage.from_events(run.events)
+    if not cov.per_isa:
+        sys.stderr.write("error: %s carries no step events (was the run "
+                         "traced with --telemetry-out?)\n" % args.run)
+        return 1
+    if args.annotate:
+        for isa in cov.isas():
+            text = cov.per_isa[isa].annotate_spec()
+            if args.out:
+                path = (args.out if len(cov.per_isa) == 1
+                        else "%s.%s" % (args.out, isa))
+                with open(path, "w") as handle:
+                    handle.write(text + "\n")
+                print("annotated spec -> %s" % path)
+            else:
+                print(text)
+    else:
+        text = cov.report()
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+            for isa in cov.isas():
+                print(cov.per_isa[isa].summary())
+            print("report -> %s" % args.out)
+        else:
+            print(text)
+    if args.min_ratio is not None:
+        failing = cov.gate(args.min_ratio)
+        if failing:
+            sys.stderr.write(
+                "error: rule coverage below %.2f for: %s\n"
+                % (args.min_ratio,
+                   ", ".join("%s (%.0f%%)"
+                             % (isa, 100 * cov.per_isa[isa].rule_ratio)
+                             for isa in failing)))
+            return 1
+        print("gate: every ISA >= %.2f rule coverage" % args.min_ratio)
     return 0
 
 
@@ -295,11 +403,36 @@ def main(argv=None) -> int:
         "stats", help="pretty-print a saved --telemetry-out run")
     stats.add_argument("run", help="telemetry JSONL file")
 
+    tree = commands.add_parser(
+        "tree", help="reconstruct the execution tree of a saved run")
+    tree.add_argument("run", help="telemetry JSONL file")
+    tree.add_argument("--format", default="ascii",
+                      choices=["ascii", "dot", "json"],
+                      help="output format (default ascii)")
+    tree.add_argument("--out", metavar="FILE",
+                      help="write to FILE instead of stdout")
+    tree.add_argument("--max-nodes", type=int, default=500,
+                      help="ascii format: cap on rendered nodes")
+
+    speccov = commands.add_parser(
+        "speccov",
+        help="ADL spec coverage of a saved run (which rules ran)")
+    speccov.add_argument("run", help="telemetry JSONL file")
+    speccov.add_argument("--min-ratio", type=float, default=None,
+                         metavar="R",
+                         help="exit 1 if any ISA's rule coverage < R "
+                              "(CI gate for new specs)")
+    speccov.add_argument("--annotate", action="store_true",
+                         help="print the ADL spec source with per-line "
+                              "hit counts in the margin")
+    speccov.add_argument("--out", metavar="FILE",
+                         help="write the report to FILE instead of stdout")
+
     args = parser.parse_args(argv)
     handler = {
         "isas": cmd_isas, "asm": cmd_asm, "dis": cmd_dis, "run": cmd_run,
         "trace": cmd_trace, "explore": cmd_explore, "cfg": cmd_cfg,
-        "stats": cmd_stats,
+        "stats": cmd_stats, "tree": cmd_tree, "speccov": cmd_speccov,
     }[args.command]
     return handler(args)
 

@@ -15,11 +15,18 @@ __all__ = ["CoverageReport", "measure"]
 
 
 class CoverageReport:
-    """Instruction- and block-level coverage of one exploration."""
+    """Instruction- and block-level coverage of one exploration.
 
-    def __init__(self, cfg: Cfg, visited: Set[int]):
+    When ``rules`` (an :class:`~repro.obs.speccov.IsaSpecCoverage`) is
+    attached the report is *unified*: :meth:`summary` carries both the
+    address-level figures ("which parts of this program ran") and the
+    spec-level figures ("which semantic rules of the ADL spec ran").
+    """
+
+    def __init__(self, cfg: Cfg, visited: Set[int], rules=None):
         self.cfg = cfg
         self.visited = set(visited)
+        self.rules = rules  # Optional[IsaSpecCoverage]
         self.known = set(cfg.instruction_addresses)
         self.covered_instructions = self.visited & self.known
         self.covered_blocks = {
@@ -45,7 +52,7 @@ class CoverageReport:
         return sorted(set(self.cfg.blocks) - self.covered_blocks)
 
     def summary(self) -> str:
-        return ("coverage: %d/%d instructions (%.0f%%), %d/%d blocks "
+        line = ("coverage: %d/%d instructions (%.0f%%), %d/%d blocks "
                 "(%.0f%%)%s"
                 % (len(self.covered_instructions), len(self.known),
                    100 * self.instruction_ratio,
@@ -53,19 +60,32 @@ class CoverageReport:
                    100 * self.block_ratio,
                    ", %d dynamic-only" % len(self.dynamic_only)
                    if self.dynamic_only else ""))
+        if self.rules is not None:
+            line += "\n" + self.rules.summary()
+        return line
 
     def __repr__(self):
         return "<CoverageReport %s>" % self.summary()
 
 
 def measure(model, image, visited: Iterable[int],
-            cfg: Optional[Cfg] = None) -> CoverageReport:
+            cfg: Optional[Cfg] = None,
+            spec_coverage: bool = False) -> CoverageReport:
     """Build a coverage report for a set of visited pc values.
 
     ``visited`` typically comes from
     :attr:`~repro.core.reporting.ExplorationResult.visited_pcs` (enable
     ``EngineConfig(collect_coverage=True)``).
+
+    With ``spec_coverage=True`` the report also attributes every visited
+    pc back to the ADL semantic rule that produced its IR (via
+    :func:`repro.obs.speccov.rule_coverage_from_visited`), so one call
+    yields the unified address-level + rule-level summary.
     """
     if cfg is None:
         cfg = recover_cfg(model, image)
-    return CoverageReport(cfg, set(visited))
+    rules = None
+    if spec_coverage:
+        from ..obs.speccov import rule_coverage_from_visited
+        rules = rule_coverage_from_visited(model, image, visited)
+    return CoverageReport(cfg, set(visited), rules=rules)

@@ -257,6 +257,7 @@ class Engine:
                     if len(self.strategy) >= self.config.max_states:
                         result.states_pruned += 1
                         self._c_pruned.inc()
+                        self._dead_end(successor, "max-states")
                         continue
                     self.strategy.push(successor)
         finally:
@@ -313,7 +314,8 @@ class Engine:
             if successors is None:
                 try:
                     decoded = self._fetch(state)
-                except _PathEnd:
+                except _PathEnd as dead:
+                    self._dead_end(state, dead.reason)
                     return []
                 state.pc = (state.pc + decoded.length) \
                     & T.mask(self._addr_width)
@@ -321,11 +323,13 @@ class Engine:
             return list(successors)
         try:
             decoded = self._fetch(state)
-        except _PathEnd:
+        except _PathEnd as dead:
+            self._dead_end(state, dead.reason)
             return []
         for checker in self._checkers:
             checker(self, state, decoded)
         result.instructions_executed += 1
+        cond_base = len(state.path_condition)
         if tracer.enabled:
             tracer.emit("step", state_id=state.state_id, pc=state.pc,
                         instr=decoded.instruction.name)
@@ -335,7 +339,8 @@ class Engine:
                     finished = self._exec_block(state, decoded)
             else:
                 finished = self._exec_block(state, decoded)
-        except _PathEnd:
+        except _PathEnd as dead:
+            self._dead_end(state, dead.reason)
             return []
         successors: List[SymState] = []
         for sub_state, outcome in finished:
@@ -343,6 +348,7 @@ class Engine:
             if outcome.trapped:
                 self._report(sub_state, R.TRAP, decoded,
                              "trap instruction reached")
+                self._dead_end(sub_state, "trap")
                 continue
             if outcome.halted:
                 self._finish_path(sub_state, outcome, result)
@@ -359,8 +365,41 @@ class Engine:
             if tracer.enabled:
                 tracer.emit("fork", state_id=state.state_id, pc=state.pc,
                             children=[sub.state_id
-                                      for sub, _ in finished])
+                                      for sub, _ in finished],
+                            conds=[self._edge_cond(sub, cond_base)
+                                   for sub, _ in finished])
         return successors
+
+    #: Rendered branch-condition summaries on fork events are truncated
+    #: to this many characters (flight-recorder edge labels, not proofs).
+    COND_SUMMARY_LIMIT = 96
+
+    def _edge_cond(self, state: SymState, base_len: int) -> str:
+        """Short rendering of the path conditions ``state`` gained during
+        the current instruction — the per-edge branch-condition summary
+        carried by ``fork`` events for the flight recorder."""
+        extra = state.path_condition[base_len:]
+        if not extra:
+            return ""
+        text = " && ".join(T.render(cond, max_depth=4) for cond in extra)
+        if len(text) > self.COND_SUMMARY_LIMIT:
+            text = text[:self.COND_SUMMARY_LIMIT - 3] + "..."
+        return text
+
+    def _dead_end(self, state: SymState, reason: str) -> None:
+        """A state died without finishing a path (defect kill, dead end).
+
+        Emits a ``prune`` event so the flight recorder can close the
+        node instead of leaving it dangling as live.  Carries the fork
+        parent when known: a branch that dies inside ``_fork_if`` never
+        appears in a ``fork`` event (only survivors do), so this is the
+        recorder's only chance to attach it to the tree."""
+        if self._tracer.enabled:
+            data = {"reason": reason}
+            if state.parent_id is not None:
+                data["parent"] = state.parent_id
+            self._tracer.emit("prune", state_id=state.state_id,
+                              pc=state.pc, **data)
 
     def _fetch(self, state: SymState):
         decoder = self.model.decoder
@@ -440,6 +479,7 @@ class Engine:
         if not values:
             return []
         successors = []
+        cond_base = len(state.path_condition)
         for value in values:
             branch = state if len(values) == 1 else state.fork()
             branch.assume(T.eq(target, T.bv(value, target.width)))
@@ -453,7 +493,9 @@ class Engine:
                 self._tracer.emit("fork", state_id=state.state_id,
                                   pc=state.pc, indirect=True,
                                   children=[s.state_id
-                                            for s in successors])
+                                            for s in successors],
+                                  conds=[self._edge_cond(s, cond_base)
+                                         for s in successors])
         return successors
 
     # -- block execution (with forking on symbolic conditions) ----------------------
@@ -522,8 +564,9 @@ class Engine:
                 results.extend(self._run_frames(
                     branch_state, branch_frames, branch_locals,
                     branch_outcome, fields, decoded))
-            except _PathEnd:
+            except _PathEnd as dead:
                 # This branch died (e.g. OOB store); siblings continue.
+                self._dead_end(branch_state, dead.reason)
                 continue
         return results
 

@@ -128,7 +128,8 @@ class MergingFrontier(Strategy):
                         and self._obs.tracer.enabled):
                     self._obs.tracer.emit(
                         "merge", state_id=merged.state_id, pc=merged.pc,
-                        merged_from=[candidate.state_id, state.state_id])
+                        merged_from=[candidate.state_id, state.state_id],
+                        duplicate=merged is candidate)
                 if merged is not candidate:
                     self._by_pc[state.pc] = merged
                     self.inner.push(merged)

@@ -36,6 +36,12 @@ class Decoded:
         self.fields = fields
         self.length = instruction.length
 
+    @property
+    def rule(self):
+        """Spec provenance of the semantic rule that decoded this
+        instruction (:class:`~repro.adl.translate.RuleProvenance`)."""
+        return self.instruction.provenance
+
     def __repr__(self):
         return "<Decoded %s @ %#x>" % (self.instruction.name, self.address)
 

@@ -14,7 +14,8 @@ from typing import Dict, List, Optional, Tuple
 from .. import adl
 from ..adl import ast as A
 from ..adl.errors import AdlSemanticError
-from ..adl.translate import translate_instruction
+from ..adl.translate import (RuleProvenance, rule_provenance,
+                             translate_instruction)
 from ..ir import nodes as N
 
 __all__ = ["ArchModel", "Instruction", "RegFileInfo", "build"]
@@ -49,6 +50,9 @@ class Instruction:
         self.semantics: Tuple[N.Stmt, ...] = tuple(
             translate_instruction(spec, decl))
         self.mnemonic = decl.syntax.split()[0]
+        # Spec provenance: which ADL source lines produced this rule's IR
+        # (recorded at translation time; consumed by repro.obs.speccov).
+        self.provenance: RuleProvenance = rule_provenance(spec, decl)
         # Register-typed fields and their valid index bound: a decoded
         # word whose register field exceeds the regfile is not a valid
         # instruction (possible when the field is wider than log2(count),
@@ -133,6 +137,14 @@ class ArchModel:
             Instruction(spec, decl) for decl in spec.instructions]
         self.by_name: Dict[str, Instruction] = {
             instr.name: instr for instr in self.instructions}
+        # Semantic-rule table: instruction name -> spec provenance.  This
+        # is the join key for spec-coverage attribution (every ``step``
+        # event's ``instr`` payload resolves here).
+        self.rules: Dict[str, RuleProvenance] = {
+            instr.name: instr.provenance for instr in self.instructions}
+        # Filesystem path of the ADL source, when known (set by build()
+        # for built-in specs); enables annotated spec-coverage reports.
+        self.source_path: Optional[str] = None
         # Register-name lookup for the assembler: prefix+index and aliases.
         self.register_names: Dict[str, Tuple[str, int]] = {}
         for regfile in self.regfiles.values():
@@ -176,6 +188,7 @@ def build(name: str, fresh: bool = False) -> ArchModel:
         return _MODEL_CACHE[name]
     spec = adl.load_builtin_spec(name)
     model = ArchModel(spec)
+    model.source_path = adl.builtin_spec_path(name)
     if not fresh:
         _MODEL_CACHE[name] = model
     return model

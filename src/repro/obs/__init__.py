@@ -28,6 +28,8 @@ from .events import (  # noqa: F401
     FORK,
     MERGE,
     PATH_END,
+    PRUNE,
+    SCHEMA_VERSION,
     SOLVER_CHECK,
     STEP,
     Event,
@@ -44,16 +46,29 @@ from .sinks import (  # noqa: F401
     ConsoleSink,
     JsonlSink,
     RingBufferSink,
+    RunFile,
+    TelemetryError,
+    load_run,
     read_jsonl,
     read_run,
 )
+from .speccov import (  # noqa: F401
+    IsaSpecCoverage,
+    SpecCoverage,
+    rule_coverage_from_visited,
+)
+from .tree import ExecutionTree, FlightRecorder, TreeEdge, TreeNode  # noqa: F401
 
 __all__ = ["Obs", "MetricsRegistry", "Counter", "Gauge", "Histogram",
-           "EventTracer", "Event", "EVENT_KINDS", "PhaseProfiler",
+           "EventTracer", "Event", "EVENT_KINDS", "SCHEMA_VERSION",
+           "PhaseProfiler",
            "PhaseStats", "RingBufferSink", "JsonlSink", "ConsoleSink",
-           "read_jsonl", "read_run",
+           "read_jsonl", "read_run", "load_run", "RunFile",
+           "TelemetryError",
+           "ExecutionTree", "FlightRecorder", "TreeEdge", "TreeNode",
+           "SpecCoverage", "IsaSpecCoverage", "rule_coverage_from_visited",
            "STEP", "FORK", "MERGE", "SOLVER_CHECK", "PATH_END", "DEFECT",
-           "DECODE_CACHE"]
+           "DECODE_CACHE", "PRUNE"]
 
 
 class Obs:

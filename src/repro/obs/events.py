@@ -15,6 +15,15 @@ Event kinds
 ``path_end``      a path finished (``status``, optional ``exit_code``)
 ``defect``        a defect was filed (``kind``, ``message``)
 ``decode_cache``  an instruction fetch (``hit`` payload)
+``prune``         a live state was dropped before finishing (``reason``)
+
+Schema versioning
+-----------------
+:data:`SCHEMA_VERSION` names the wire format of a JSONL run file.
+Version 2 (this release) adds the ``prune`` kind, per-edge branch
+condition summaries on ``fork`` events (``conds``, aligned with
+``children``) and the ``duplicate`` flag on ``merge`` events; readers of
+version-1 files keep working (the additions are optional payload keys).
 """
 
 from __future__ import annotations
@@ -22,9 +31,13 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
-__all__ = ["Event", "EventTracer", "EVENT_KINDS",
+__all__ = ["Event", "EventTracer", "EVENT_KINDS", "SCHEMA_VERSION",
            "STEP", "FORK", "MERGE", "SOLVER_CHECK", "PATH_END", "DEFECT",
-           "DECODE_CACHE"]
+           "DECODE_CACHE", "PRUNE"]
+
+#: Wire-format version stamped into JSONL run files (a ``meta`` record
+#: written by :class:`~repro.obs.sinks.JsonlSink`).
+SCHEMA_VERSION = 2
 
 STEP = "step"
 FORK = "fork"
@@ -33,9 +46,10 @@ SOLVER_CHECK = "solver_check"
 PATH_END = "path_end"
 DEFECT = "defect"
 DECODE_CACHE = "decode_cache"
+PRUNE = "prune"
 
 EVENT_KINDS = (STEP, FORK, MERGE, SOLVER_CHECK, PATH_END, DEFECT,
-               DECODE_CACHE)
+               DECODE_CACHE, PRUNE)
 
 
 class Event:

@@ -18,13 +18,24 @@ from __future__ import annotations
 
 import io
 import json
+import os
 from collections import deque
 from typing import Dict, List, Optional, Tuple, Union
 
-from .events import Event
+from .events import SCHEMA_VERSION, Event
 
 __all__ = ["RingBufferSink", "JsonlSink", "ConsoleSink",
-           "read_jsonl", "read_run"]
+           "read_jsonl", "read_run", "load_run", "RunFile",
+           "TelemetryError"]
+
+
+class TelemetryError(Exception):
+    """A telemetry run file is missing, empty, or unreadable.
+
+    Raised by :func:`load_run` so CLI consumers (``repro stats`` /
+    ``tree`` / ``speccov``) can fail with a one-line message instead of
+    a traceback.
+    """
 
 
 class RingBufferSink:
@@ -56,7 +67,8 @@ class RingBufferSink:
 class JsonlSink:
     """Streams events as JSON lines to a path or a file-like object."""
 
-    def __init__(self, target: Union[str, io.TextIOBase]):
+    def __init__(self, target: Union[str, io.TextIOBase],
+                 write_schema: bool = True):
         if isinstance(target, str):
             self._handle = open(target, "w")
             self._owns_handle = True
@@ -64,6 +76,10 @@ class JsonlSink:
             self._handle = target
             self._owns_handle = False
         self.written = 0
+        if write_schema:
+            # Version stamp first, so readers can dispatch on format.
+            self.write_meta({"record": "schema",
+                             "version": SCHEMA_VERSION})
 
     def emit(self, event: Event) -> None:
         self._handle.write(json.dumps(event.to_dict(),
@@ -121,3 +137,93 @@ def read_run(path: str) -> Tuple[List[Event], List[Dict[str, object]]]:
         else:
             events.append(Event.from_dict(record))
     return events, meta
+
+
+class RunFile:
+    """A loaded telemetry run: events, meta records, reader warnings."""
+
+    __slots__ = ("path", "events", "meta", "warnings", "schema_version")
+
+    def __init__(self, path: str, events: List[Event],
+                 meta: List[Dict[str, object]], warnings: List[str],
+                 schema_version: Optional[int]):
+        self.path = path
+        self.events = events
+        self.meta = meta
+        self.warnings = warnings
+        self.schema_version = schema_version
+
+    def events_of(self, kind: str) -> List[Event]:
+        return [event for event in self.events if event.kind == kind]
+
+    def run_summary(self) -> Optional[Dict[str, object]]:
+        for record in self.meta:
+            if record.get("record") == "run_summary":
+                return record
+        return None
+
+
+def load_run(path: str) -> RunFile:
+    """Robustly load a telemetry JSONL run file.
+
+    Unlike :func:`read_run` this never raises on partial data: malformed
+    or truncated lines (e.g. a run killed mid-write) are skipped and
+    reported via :attr:`RunFile.warnings`.  It *does* raise
+    :class:`TelemetryError` — with a one-line, actionable message — when
+    the file is missing, empty, or contains no parseable records at all.
+    """
+    if not os.path.exists(path):
+        raise TelemetryError("no such telemetry file: %s" % path)
+    if os.path.isdir(path):
+        raise TelemetryError("%s is a directory, not a telemetry file"
+                             % path)
+    events: List[Event] = []
+    meta: List[Dict[str, object]] = []
+    warnings: List[str] = []
+    bad_lines = 0
+    total_lines = 0
+    try:
+        with open(path, errors="replace") as handle:
+            for number, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                total_lines += 1
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    bad_lines += 1
+                    last_bad = number
+                    continue
+                if not isinstance(record, dict) or "kind" not in record:
+                    bad_lines += 1
+                    last_bad = number
+                    continue
+                if record.get("kind") == "meta":
+                    meta.append(record)
+                else:
+                    events.append(Event.from_dict(record))
+    except OSError as exc:
+        raise TelemetryError("cannot read telemetry file %s: %s"
+                             % (path, exc.strerror or exc))
+    if total_lines == 0:
+        raise TelemetryError("telemetry file %s is empty (did the run "
+                             "crash before emitting events?)" % path)
+    if bad_lines == total_lines:
+        raise TelemetryError("telemetry file %s contains no parseable "
+                             "JSONL records (%d bad lines)"
+                             % (path, bad_lines))
+    if bad_lines:
+        tail = (" (last at line %d — likely a truncated trailing write)"
+                % last_bad)
+        warnings.append("skipped %d unparseable line%s%s"
+                        % (bad_lines, "s" if bad_lines != 1 else "", tail))
+    schema_version = None
+    for record in meta:
+        if record.get("record") == "schema":
+            try:
+                schema_version = int(record.get("version"))
+            except (TypeError, ValueError):
+                pass
+            break
+    return RunFile(path, events, meta, warnings, schema_version)

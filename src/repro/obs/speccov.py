@@ -1,0 +1,301 @@
+"""ADL spec coverage: which semantic rules has symbolic execution hit?
+
+Address-level coverage (:mod:`repro.core.coverage`) answers "which parts
+of *this program* ran"; this module answers the question an ISA porter
+actually asks: "which parts of *my ADL spec* has the engine exercised?"
+Every executed instruction is attributed back to the semantic rule — the
+``instruction`` block, with its spec source line span — that produced
+its IR, via the :class:`~repro.adl.translate.RuleProvenance` records the
+translator threads into the generated :class:`~repro.isa.model.ArchModel`.
+
+Two attribution paths:
+
+* **event-based** (:meth:`SpecCoverage.from_events`): joins the ``instr``
+  payload of every ``step`` event in a telemetry run against the rule
+  table of that ISA's model — works offline on any saved
+  ``--telemetry-out`` file (the ``repro speccov`` subcommand).
+* **image-based** (:func:`rule_coverage_from_visited`): decodes every
+  visited pc of an :class:`~repro.core.reporting.ExplorationResult`
+  against the loaded image — no event sink needed, so ``repro explore``
+  can print a unified address+rule coverage line for free.
+
+Coverage is reported per ISA at two granularities: **rules** (one per
+``instruction`` block) and **mnemonic forms** (rules grouped by
+mnemonic, so ``mov r,r`` vs ``mov r,imm`` style operand forms are
+visible separately from the mnemonic list).  ``min_ratio`` gating turns
+the report into a CI check for new ISA specs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .events import STEP, Event
+
+__all__ = ["RuleHit", "IsaSpecCoverage", "SpecCoverage",
+           "rule_coverage_from_visited"]
+
+
+class RuleHit:
+    """Execution counts for one semantic rule."""
+
+    __slots__ = ("rule", "hits")
+
+    def __init__(self, rule, hits: int = 0):
+        self.rule = rule            # RuleProvenance
+        self.hits = hits
+
+    def __repr__(self):
+        return "<RuleHit %s x%d>" % (self.rule.instruction, self.hits)
+
+
+class IsaSpecCoverage:
+    """Spec coverage of one ISA across an exploration (or several)."""
+
+    def __init__(self, isa: str, model=None):
+        if model is None:
+            from ..isa.model import build
+            model = build(isa)
+        self.isa = isa
+        self.model = model
+        self.rules = dict(model.rules)          # name -> RuleProvenance
+        self.hits: Dict[str, int] = {}          # name -> execution count
+        # Step events whose ``instr`` payload is not a known rule (should
+        # stay empty: 100% attribution is the acceptance invariant).
+        self.unattributed: Dict[str, int] = {}
+
+    # -- accounting ---------------------------------------------------------
+
+    def record(self, instruction_name: str, count: int = 1) -> None:
+        if instruction_name in self.rules:
+            self.hits[instruction_name] = (
+                self.hits.get(instruction_name, 0) + count)
+        else:
+            self.unattributed[instruction_name] = (
+                self.unattributed.get(instruction_name, 0) + count)
+
+    # -- figures ------------------------------------------------------------
+
+    @property
+    def covered(self) -> List[str]:
+        return sorted(name for name in self.hits if name in self.rules)
+
+    @property
+    def uncovered(self) -> List[str]:
+        return sorted(name for name in self.rules if name not in self.hits)
+
+    @property
+    def rule_ratio(self) -> float:
+        if not self.rules:
+            return 0.0
+        return len(self.covered) / len(self.rules)
+
+    def mnemonic_forms(self) -> Dict[str, Tuple[int, int]]:
+        """Per mnemonic: (covered forms, total forms).
+
+        Several ``instruction`` blocks can share one mnemonic (operand
+        forms, e.g. register vs immediate variants); a porter wants to
+        know a mnemonic is only half-exercised.
+        """
+        totals: Dict[str, int] = {}
+        covered: Dict[str, int] = {}
+        for name, rule in self.rules.items():
+            totals[rule.mnemonic] = totals.get(rule.mnemonic, 0) + 1
+            if name in self.hits:
+                covered[rule.mnemonic] = covered.get(rule.mnemonic, 0) + 1
+        return {mnemonic: (covered.get(mnemonic, 0), total)
+                for mnemonic, total in sorted(totals.items())}
+
+    @property
+    def form_ratio(self) -> float:
+        forms = self.mnemonic_forms()
+        total = sum(t for _, t in forms.values())
+        if not total:
+            return 0.0
+        return sum(c for c, _ in forms.values()) / total
+
+    @property
+    def attributed_instructions(self) -> int:
+        return sum(self.hits.values())
+
+    @property
+    def unattributed_instructions(self) -> int:
+        return sum(self.unattributed.values())
+
+    # -- rendering ----------------------------------------------------------
+
+    def summary(self) -> str:
+        line = ("speccov[%s]: rules %d/%d (%.0f%%), mnemonic forms "
+                "%.0f%%, %d instructions attributed"
+                % (self.isa, len(self.covered), len(self.rules),
+                   100 * self.rule_ratio, 100 * self.form_ratio,
+                   self.attributed_instructions))
+        if self.unattributed:
+            line += ", %d UNATTRIBUTED" % self.unattributed_instructions
+        return line
+
+    def report(self, show_covered: bool = True) -> str:
+        """Multi-line per-rule table plus the uncovered list."""
+        source = self.model.source_path or "<in-memory spec>"
+        lines = ["== spec coverage: %s (%s) ==" % (self.isa, source)]
+        if show_covered:
+            lines.append("  %-12s %-10s %-9s %8s" % ("rule", "mnemonic",
+                                                     "lines", "hits"))
+            lines.append("  " + "-" * 43)
+            ordered = sorted(self.hits.items(),
+                             key=lambda kv: (-kv[1], kv[0]))
+            for name, hits in ordered:
+                rule = self.rules[name]
+                lines.append("  %-12s %-10s %4d-%-4d %8d"
+                             % (name, rule.mnemonic, rule.line_lo,
+                                rule.line_hi, hits))
+        if self.uncovered:
+            spans = ", ".join("%s (%d-%d)" % (name,
+                                              self.rules[name].line_lo,
+                                              self.rules[name].line_hi)
+                              for name in self.uncovered)
+            lines.append("  uncovered (%d/%d): %s"
+                         % (len(self.uncovered), len(self.rules), spans))
+        partial = [(m, c, t) for m, (c, t) in self.mnemonic_forms().items()
+                   if 0 < c < t]
+        if partial:
+            lines.append("  partial mnemonics: "
+                         + ", ".join("%s %d/%d" % p for p in partial))
+        if self.unattributed:
+            lines.append("  UNATTRIBUTED: "
+                         + ", ".join("%s x%d" % kv for kv in
+                                     sorted(self.unattributed.items())))
+        lines.append("  " + self.summary())
+        return "\n".join(lines)
+
+    def annotate_spec(self) -> str:
+        """The ADL source with per-line hit counts in the margin.
+
+        Lines inside a covered rule's span carry the rule's execution
+        count; lines of uncovered rules are flagged ``!``; structural
+        lines are left blank.  Requires ``model.source_path``.
+        """
+        if not self.model.source_path:
+            raise ValueError("no spec source path recorded for %r "
+                             "(in-memory spec?)" % self.isa)
+        with open(self.model.source_path) as handle:
+            source_lines = handle.read().splitlines()
+        margin: Dict[int, str] = {}
+        for name, rule in sorted(self.rules.items()):
+            hits = self.hits.get(name, 0)
+            tag = "%7d " % hits if hits else "      ! "
+            for line in range(rule.line_lo, rule.line_hi + 1):
+                # First writer wins; rules never overlap in the specs.
+                margin.setdefault(line, tag)
+        out = ["# annotated spec coverage: %s" % self.isa,
+               "# margin: execution count | '!' = uncovered rule",
+               ""]
+        for number, text in enumerate(source_lines, 1):
+            out.append("%s|%s" % (margin.get(number, " " * 8), text))
+        return "\n".join(out)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "isa": self.isa,
+            "source": self.model.source_path,
+            "rules_total": len(self.rules),
+            "rules_covered": len(self.covered),
+            "rule_ratio": self.rule_ratio,
+            "form_ratio": self.form_ratio,
+            "hits": dict(sorted(self.hits.items())),
+            "uncovered": self.uncovered,
+            "unattributed": dict(sorted(self.unattributed.items())),
+        }
+
+    def __repr__(self):
+        return "<IsaSpecCoverage %s>" % self.summary()
+
+
+class SpecCoverage:
+    """Spec coverage across every ISA appearing in an event stream."""
+
+    def __init__(self):
+        self.per_isa: Dict[str, IsaSpecCoverage] = {}
+
+    @classmethod
+    def from_events(cls, events: Iterable[Event],
+                    models: Optional[Dict[str, object]] = None
+                    ) -> "SpecCoverage":
+        """Attribute every ``step`` event to its semantic rule.
+
+        ``models`` optionally maps ISA name -> ArchModel for specs that
+        are not built-ins (tests with in-memory specs); built-in ISA
+        names are resolved via :func:`repro.isa.model.build`.
+        """
+        cov = cls()
+        for event in events:
+            if event.kind != STEP:
+                continue
+            isa_cov = cov.per_isa.get(event.isa)
+            if isa_cov is None:
+                model = models.get(event.isa) if models else None
+                isa_cov = cov.per_isa[event.isa] = IsaSpecCoverage(
+                    event.isa, model)
+            isa_cov.record(str(event.data.get("instr", "?")))
+        return cov
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> Tuple["SpecCoverage", List[str]]:
+        """Load a saved run and attribute it; returns (coverage,
+        reader warnings)."""
+        from .sinks import load_run
+        run = load_run(path)
+        return cls.from_events(run.events), run.warnings
+
+    def isas(self) -> List[str]:
+        return sorted(self.per_isa)
+
+    def min_rule_ratio(self) -> float:
+        if not self.per_isa:
+            return 0.0
+        return min(cov.rule_ratio for cov in self.per_isa.values())
+
+    def gate(self, min_ratio: float) -> List[str]:
+        """ISAs whose rule coverage falls below ``min_ratio`` (for CI:
+        nonzero exit when non-empty)."""
+        return [isa for isa, cov in sorted(self.per_isa.items())
+                if cov.rule_ratio < min_ratio]
+
+    def report(self, show_covered: bool = True) -> str:
+        if not self.per_isa:
+            return "speccov: no step events (was the run traced with " \
+                   "--telemetry-out?)"
+        return "\n\n".join(self.per_isa[isa].report(show_covered)
+                           for isa in self.isas())
+
+    def __repr__(self):
+        return "<SpecCoverage %s>" % ", ".join(
+            cov.summary() for cov in self.per_isa.values())
+
+
+def rule_coverage_from_visited(model, image, visited: Iterable[int]
+                               ) -> IsaSpecCoverage:
+    """Image-based attribution: decode each visited pc of ``image`` and
+    credit its rule.  Addresses that do not decode (e.g. dynamic-only
+    targets outside the image) are counted under ``unattributed`` as
+    ``@<hex>`` pseudo-names.
+
+    This is the no-sink path that lets ``repro explore`` print a unified
+    address+rule coverage report without event tracing enabled.
+    """
+    cov = IsaSpecCoverage(model.name, model)
+    data = bytes(image.data)
+    end = image.base + len(data)
+    decoder = model.decoder
+    for pc in sorted(set(visited)):
+        if not (image.base <= pc < end):
+            cov.unattributed["@%#x" % pc] = 1
+            continue
+        window = data[pc - image.base:pc - image.base + decoder.max_length]
+        try:
+            decoded = decoder.decode_bytes(window, pc)
+        except Exception:
+            cov.unattributed["@%#x" % pc] = 1
+            continue
+        cov.record(decoded.instruction.name)
+    return cov

@@ -11,6 +11,10 @@ All kernels are portable programs (they run on every ISA):
   compared against a magic value; the solver-heavy workload.
 * :func:`bsearch` — binary search over a sorted in-memory table keyed by
   an input byte; branchy and load-heavy (throughput rows).
+* :func:`exerciser` — touches the whole portable vocabulary (every ALU
+  op, branch condition, memory width, both jump kinds, I/O, a guarded
+  trap); the ADL spec-coverage workload behind the
+  ``repro speccov --min-ratio`` CI gate.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ from .portable import PortableProgram
 from .suite import CODE_BASE, DATA_BASE
 
 __all__ = ["maze", "password", "checksum", "bsearch", "dispatcher",
-           "KERNELS", "build_kernel"]
+           "exerciser", "KERNELS", "build_kernel"]
 
 
 def _start(program: PortableProgram) -> PortableProgram:
@@ -210,6 +214,72 @@ def diamonds(count: int = 8) -> PortableProgram:
     return p
 
 
+PAD_BASE = 0x1300   # fixed landing pad for the exerciser's computed goto
+
+
+def exerciser(magic: int = 0x2A) -> PortableProgram:
+    """A spec-coverage workload: touch the whole portable vocabulary.
+
+    Every ALU op (add/sub/and/or/xor/mul/divu/remu/shl/shr/sra), every
+    branch condition (eq/ne/ltu/geu/lt/ge), byte and word loads/stores,
+    li/mov/addi, a direct and an indirect jump, input/output, and a
+    trap guarded by one symbolic branch (so the run both forks and
+    files a defect).  Most branches compare *concrete* registers, so
+    the path count stays tiny while every semantic rule still executes
+    — the workload behind the ``repro speccov --min-ratio`` CI gate.
+    """
+    p = _start(PortableProgram())
+    p.read_input("v0")                   # the one symbolic byte
+    # -- ALU tour ----------------------------------------------------
+    p.li("v1", 7)
+    p.alu("add", "v2", "v0", "v1")
+    p.alu("sub", "v2", "v2", "v1")
+    p.alu("and", "v3", "v0", "v1")
+    p.alu("or", "v3", "v3", "v1")
+    p.alu("xor", "v3", "v3", "v0")
+    p.alu("mul", "v4", "v0", "v1")
+    p.li("v5", 3)
+    p.alu("divu", "v4", "v4", "v5")      # concrete divisor: no defect
+    p.alu("remu", "v4", "v4", "v5")
+    p.li("v5", 2)
+    p.alu("shl", "v4", "v4", "v5")
+    p.alu("shr", "v4", "v4", "v5")
+    p.alu("sra", "v4", "v4", "v5")
+    p.mov("v2", "v4")
+    p.addi("v2", "v2", 1)
+    # -- memory tour -------------------------------------------------
+    p.li("v5", DATA_BASE)
+    p.storeb("v0", "v5", 0)
+    p.loadb("v3", "v5", 0)
+    p.storew("v2", "v5", 8)
+    p.loadw("v2", "v5", 8)
+    # -- branch tour (concrete operands: one feasible arm each) ------
+    p.li("v1", 5)
+    p.li("v2", 9)
+    for index, cond in enumerate(("eq", "ne", "ltu", "geu", "lt", "ge")):
+        p.branch(cond, "v1", "v2", "b%d" % index)
+        p.label("b%d" % index)
+    # -- symbolic fork + guarded trap --------------------------------
+    p.li("v1", magic)
+    p.branch("ne", "v3", "v1", "miss")
+    p.trap(9)
+    p.label("miss")
+    p.write_output("v3")
+    # -- computed goto to a fixed landing pad ------------------------
+    p.li("v1", PAD_BASE)
+    p.jump_reg("v1")
+    p.org(PAD_BASE)
+    p.label("land")
+    p.jump("fin")                        # a direct jump, too
+    p.label("fin")
+    p.halt(0)
+    # Writable scratch page for the memory tour.
+    p.org(DATA_BASE)
+    p.label("scratch")
+    p.byte_data([0] * 16)
+    return p
+
+
 KERNELS = {
     "maze": maze,
     "password": password,
@@ -217,6 +287,7 @@ KERNELS = {
     "bsearch": bsearch,
     "dispatcher": dispatcher,
     "diamonds": diamonds,
+    "exerciser": exerciser,
 }
 
 

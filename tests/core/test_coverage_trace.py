@@ -71,6 +71,47 @@ class TestCoverage:
         report = measure(model, image, result.visited_pcs)
         assert "blocks" in report.summary()
 
+    def test_dynamic_only_excluded_from_ratios(self):
+        # Addresses behind the indirect jump inflate neither the
+        # instruction nor the block ratio: they are *outside* the
+        # statically known set.
+        model, image, result = explore("rv32", source="""
+        .org 0x1000
+        start:
+            lui x1, 1
+            addi x1, x1, 0x100
+            jalr x0, 0(x1)
+        .org 0x1100
+            addi x2, x0, 1
+            halt 0
+        .entry start
+        """)
+        report = measure(model, image, result.visited_pcs)
+        assert report.dynamic_only == {0x1100, 0x1104}
+        assert report.covered_instructions.isdisjoint(report.dynamic_only)
+        assert report.instruction_ratio <= 1.0
+        assert "dynamic-only" in report.summary()
+
+    def test_dynamic_only_empty_for_direct_control_flow(self):
+        model, image, result = explore("rv32", kernel="bsearch")
+        report = measure(model, image, result.visited_pcs)
+        assert report.dynamic_only == set()
+        assert "dynamic-only" not in report.summary()
+
+    def test_unified_summary_with_spec_coverage(self):
+        model, image, result = explore("rv32", kernel="bsearch")
+        report = measure(model, image, result.visited_pcs,
+                         spec_coverage=True)
+        text = report.summary()
+        assert "coverage:" in text and "speccov[rv32]" in text
+        assert report.rules.unattributed == {}
+
+    def test_spec_coverage_off_by_default(self):
+        model, image, result = explore("rv32", kernel="bsearch")
+        report = measure(model, image, result.visited_pcs)
+        assert report.rules is None
+        assert "speccov" not in report.summary()
+
 
 class TestTracer:
     def test_trace_records_register_writes(self):
@@ -112,6 +153,59 @@ class TestTracer:
         tracer = trace_run(model, image, input_bytes=defect.input_bytes)
         assert tracer.simulator.trapped
         assert "trap" in tracer.entries[-1].text
+
+    def test_entry_format_shows_stores_and_output(self):
+        # The *rendered* trace must carry the memory store and the I/O
+        # byte, not just the raw entry attributes.
+        model = build("rv32")
+        image = assemble(model, """
+        .org 0x1000
+        addi x1, x0, 65
+        lui x2, 1
+        sb x1, 0x200(x2)
+        outb x1
+        halt 0
+        """, base=0x1000)
+        tracer = trace_run(model, image)
+        store_line = tracer.entries[2].format()
+        assert "[0x1200] <- 0x41" in store_line
+        out_line = tracer.entries[3].format()
+        assert "out b'A'" in out_line
+        # Register writes carry old -> new values.
+        first_line = tracer.entries[0].format()
+        assert "x1: 0x0 -> 0x41" in first_line
+        # And the full-trace format() stitches the same lines together.
+        full = tracer.format()
+        assert store_line in full and out_line in full
+
+    def test_entry_format_layout(self):
+        model = build("rv32")
+        image = assemble(model, ".org 0x1000\nhalt 0", base=0x1000)
+        tracer = trace_run(model, image)
+        line = tracer.entries[0].format()
+        assert line.startswith("     0  0x001000")
+        assert "halt" in line
+
+    def test_next_pc_recorded_per_entry(self):
+        model = build("rv32")
+        image = assemble(model, """
+        .org 0x1000
+        start:
+            addi x1, x0, 1
+            jal x0, skip
+            trap 1
+        skip:
+            halt 0
+        .entry start
+        """, base=0x1000)
+        tracer = trace_run(model, image)
+        # Sequential instruction: next_pc is the fall-through.
+        assert tracer.entries[0].next_pc == 0x1004
+        # Taken jump: next_pc is the branch target, not fall-through.
+        assert tracer.entries[1].next_pc == 0x100c
+        # Entries chain: each next_pc is the next entry's address.
+        for this, following in zip(tracer.entries, tracer.entries[1:]):
+            assert this.next_pc == following.address
 
     def test_format_with_limit(self):
         model = build("rv32")

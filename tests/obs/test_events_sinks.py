@@ -88,7 +88,8 @@ class TestJsonlRoundTrip:
         tracer.close()
 
         events, meta = read_run(path)
-        assert meta == []
+        # Schema version stamp is the only meta record.
+        assert [m["record"] for m in meta] == ["schema"]
         assert [event.kind for event in events] == ["step", "fork",
                                                     "path_end"]
         assert all(event.isa == "rv32" for event in events)
@@ -107,9 +108,11 @@ class TestJsonlRoundTrip:
         sink.close()
         events, meta = read_run(path)
         assert len(events) == 1
-        assert len(meta) == 1
-        assert meta[0]["paths"] == 3
-        assert len(read_jsonl(path)) == 2
+        summaries = [m for m in meta if m["record"] == "run_summary"]
+        assert len(summaries) == 1
+        assert summaries[0]["paths"] == 3
+        # schema stamp + step event + run_summary
+        assert len(read_jsonl(path)) == 3
 
     def test_timestamps_monotonic(self, tmp_path):
         path = str(tmp_path / "run.jsonl")

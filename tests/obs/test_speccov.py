@@ -1,0 +1,245 @@
+"""ADL spec coverage: rule attribution across every built-in ISA.
+
+Acceptance invariant (ISSUE): speccov attributes **100%** of executed
+instructions to rules with valid line spans in the cross-ISA tests —
+i.e. ``unattributed`` stays empty on every built-in spec.
+"""
+
+import pytest
+
+from repro.adl import builtin_spec_names
+from repro.core import Engine, EngineConfig
+from repro.isa import build
+from repro.obs import (IsaSpecCoverage, Obs, RingBufferSink, SpecCoverage,
+                      rule_coverage_from_visited)
+from repro.programs import build_kernel
+
+ALL_ISAS = list(builtin_spec_names())
+
+
+def traced_run(target, kernel="maze", **params):
+    if not params and kernel == "maze":
+        params = {"depth": 2, "solution": 0b01}
+    model, image = build_kernel(kernel, target, **params)
+    obs = Obs.default()
+    ring = RingBufferSink(capacity=100000)
+    obs.add_sink(ring)
+    engine = Engine(model, config=EngineConfig(obs=obs,
+                                               collect_coverage=True))
+    engine.load_image(image)
+    result = engine.explore()
+    return model, image, result, ring
+
+
+class TestProvenance:
+    @pytest.mark.parametrize("isa", ALL_ISAS)
+    def test_every_rule_has_a_valid_line_span(self, isa):
+        model = build(isa)
+        assert model.rules, "generated model must carry rule provenance"
+        assert len(model.rules) == len(model.instructions)
+        for name, rule in model.rules.items():
+            assert rule.instruction == name
+            assert 1 <= rule.line_lo <= rule.line_hi
+            assert rule.mnemonic
+
+    @pytest.mark.parametrize("isa", ALL_ISAS)
+    def test_spec_source_path_recorded(self, isa):
+        model = build(isa)
+        assert model.source_path and model.source_path.endswith(".adl")
+
+    def test_decoded_rule_accessor(self):
+        model, image = build_kernel("maze", "rv32", depth=1, solution=0)
+        data = bytes(image.data)
+        window = data[:model.decoder.max_length]
+        decoded = model.decoder.decode_bytes(window, image.base)
+        assert decoded.rule is model.rules[decoded.instruction.name]
+
+
+@pytest.mark.parametrize("isa", ALL_ISAS)
+class TestFullAttribution:
+    def test_event_based_attribution_is_total(self, isa):
+        model, _, result, ring = traced_run(isa)
+        cov = SpecCoverage.from_events(ring.events())
+        assert cov.isas() == [isa]
+        isa_cov = cov.per_isa[isa]
+        assert isa_cov.unattributed == {}
+        assert (isa_cov.attributed_instructions
+                == result.instructions_executed)
+        assert 0 < isa_cov.rule_ratio <= 1.0
+
+    def test_image_based_attribution_is_total(self, isa):
+        model, image, result, _ = traced_run(isa)
+        cov = rule_coverage_from_visited(model, image, result.visited_pcs)
+        assert cov.unattributed == {}
+        # Image-based counts unique sites, event-based counts executions;
+        # the *covered rule sets* must agree.
+        events_cov = SpecCoverage.from_events(
+            traced_run(isa)[3].events()).per_isa[isa]
+        assert set(cov.covered) == set(events_cov.covered)
+
+
+class TestFigures:
+    @pytest.fixture(scope="class")
+    def cov(self):
+        _, _, _, ring = traced_run("rv32")
+        return SpecCoverage.from_events(ring.events()).per_isa["rv32"]
+
+    def test_ratios_consistent(self, cov):
+        assert len(cov.covered) + len(cov.uncovered) == len(cov.rules)
+        assert cov.rule_ratio == len(cov.covered) / len(cov.rules)
+        forms = cov.mnemonic_forms()
+        assert sum(t for _, t in forms.values()) == len(cov.rules)
+        assert sum(c for c, _ in forms.values()) == len(cov.covered)
+
+    def test_record_unknown_rule_is_flagged(self):
+        cov = IsaSpecCoverage("rv32")
+        cov.record("not-a-rule", 3)
+        assert cov.unattributed == {"not-a-rule": 3}
+        assert "UNATTRIBUTED" in cov.summary()
+
+    def test_summary_and_report(self, cov):
+        assert "speccov[rv32]" in cov.summary()
+        report = cov.report()
+        assert "spec coverage: rv32" in report
+        for name in cov.covered:
+            assert name in report
+        assert "uncovered" in report
+
+    def test_annotate_spec_margins(self, cov):
+        text = cov.annotate_spec()
+        lines = text.splitlines()
+        assert lines[0].startswith("# annotated spec coverage")
+        hit_lines = [l for l in lines if l.split("|")[0].strip().isdigit()]
+        bang_lines = [l for l in lines if l.split("|")[0].strip() == "!"]
+        assert hit_lines, "covered rules must carry hit counts"
+        assert bang_lines, "uncovered rules must be flagged"
+        # Spec body is preserved verbatim after the margin.
+        with open(cov.model.source_path) as handle:
+            source = handle.read().splitlines()
+        assert [l.split("|", 1)[1] for l in lines[3:]] == source
+
+    def test_annotate_requires_source_path(self):
+        model = build("rv32")
+        cov = IsaSpecCoverage("rv32", model)
+        saved, model.source_path = model.source_path, None
+        try:
+            with pytest.raises(ValueError):
+                cov.annotate_spec()
+        finally:
+            model.source_path = saved
+
+    def test_to_dict_round_trip(self, cov):
+        import json
+        payload = json.loads(json.dumps(cov.to_dict()))
+        assert payload["rules_total"] == len(cov.rules)
+        assert payload["rules_covered"] == len(cov.covered)
+
+
+class TestGate:
+    def test_gate_passes_and_fails(self):
+        _, _, _, ring = traced_run("rv32")
+        cov = SpecCoverage.from_events(ring.events())
+        ratio = cov.min_rule_ratio()
+        assert 0 < ratio < 1
+        assert cov.gate(ratio) == []
+        assert cov.gate(ratio + 0.01) == ["rv32"]
+        assert cov.gate(1.1) == ["rv32"]
+
+    def test_empty_coverage_reports_hint(self):
+        cov = SpecCoverage.from_events([])
+        assert cov.per_isa == {}
+        assert "no step events" in cov.report()
+        assert cov.min_rule_ratio() == 0.0
+
+
+class _StubModel:
+    """Minimal model stand-in: a rules table and no source file."""
+
+    def __init__(self, rules):
+        self.name = "stub"
+        self.rules = rules
+        self.source_path = None
+
+
+class TestMnemonicForms:
+    # Two instruction blocks sharing the 'mov' mnemonic (register vs
+    # immediate operand forms) — the built-in specs keep one block per
+    # mnemonic, so the form layer is exercised on an in-memory spec.
+    SPEC = """
+    architecture t {
+      wordsize 16
+      endian little
+      regfile r[4] width 16
+      pc width 16
+      encoding e { a:4 b:4 op:8 }
+      instruction mov_rr {
+        encoding e
+        match op = 1
+        syntax "mov {a:r}, {b:r}"
+        semantics { r[a] = r[b]; pc = pc + 2; }
+      }
+      instruction mov_ri {
+        encoding e
+        match op = 2
+        syntax "mov {a:r}, {b}"
+        semantics { r[a] = zext(b, 16); pc = pc + 2; }
+      }
+    }
+    """
+
+    def _coverage(self):
+        from repro.adl.analyze import analyze
+        from repro.adl.parser import parse_spec
+        from repro.adl.translate import rule_provenance
+        spec = analyze(parse_spec(self.SPEC))
+        rules = {instr.name: rule_provenance(spec, instr)
+                 for instr in spec.instructions}
+        return IsaSpecCoverage("stub", _StubModel(rules))
+
+    def test_multiple_forms_per_mnemonic_visible(self):
+        cov = self._coverage()
+        assert cov.mnemonic_forms()["mov"] == (0, 2)
+        # Cover exactly one form: the mnemonic is reported partial.
+        cov.record("mov_rr")
+        assert cov.mnemonic_forms()["mov"] == (1, 2)
+        assert cov.rule_ratio == 0.5
+        assert cov.form_ratio == 0.5
+        assert "partial mnemonics" in cov.report()
+        assert "mov 1/2" in cov.report()
+
+    def test_builtin_specs_have_unique_forms(self):
+        # Documents the current built-ins: one block per mnemonic, so
+        # form ratio == rule ratio there.
+        for isa in ALL_ISAS:
+            cov = IsaSpecCoverage(isa)
+            forms = cov.mnemonic_forms()
+            assert all(t == 1 for _, t in forms.values())
+
+
+class TestExerciserWorkload:
+    @pytest.mark.parametrize("isa", ALL_ISAS)
+    def test_exerciser_clears_the_ci_gate(self, isa):
+        # The CI flight-recorder job gates `repro speccov` at 0.5 on
+        # the exerciser kernel; pin that invariant here so a spec or
+        # kernel change cannot silently break the workflow.
+        _, _, _, ring = traced_run(isa, kernel="exerciser")
+        cov = SpecCoverage.from_events(ring.events())
+        assert cov.gate(0.5) == []
+        assert cov.per_isa[isa].unattributed == {}
+
+
+class TestJsonlPath:
+    def test_from_jsonl(self, tmp_path):
+        from repro.obs import JsonlSink
+        model, image = build_kernel("maze", "rv32", depth=2, solution=0)
+        out = tmp_path / "run.jsonl"
+        obs = Obs.default()
+        obs.add_sink(JsonlSink(str(out)))
+        engine = Engine(model, config=EngineConfig(obs=obs))
+        engine.load_image(image)
+        result = engine.explore()
+        obs.close()
+        cov, warnings = SpecCoverage.from_jsonl(str(out))
+        assert warnings == []
+        assert (cov.per_isa["rv32"].attributed_instructions
+                == result.instructions_executed)

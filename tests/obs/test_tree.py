@@ -1,0 +1,197 @@
+"""Flight recorder: the reconstructed tree is exact w.r.t. the run.
+
+Acceptance invariants (ISSUE acceptance section): ``repro tree`` leaf
+count and defect set must exactly match ``ExplorationResult`` for the
+same run — here asserted at the library level on more than one ISA,
+both online (FlightRecorder sink) and offline (JSONL round-trip).
+"""
+
+import pytest
+
+from repro.core import Engine, EngineConfig
+from repro.obs import (ExecutionTree, FlightRecorder, JsonlSink, Obs,
+                      RingBufferSink)
+from repro.programs import build_kernel
+
+
+def explore_recorded(target, kernel="maze", config_kw=None, **params):
+    params = params or {"depth": 3, "solution": 0b101}
+    model, image = build_kernel(kernel, target, **params)
+    obs = Obs.default()
+    recorder = FlightRecorder()
+    obs.add_sink(recorder)
+    engine = Engine(model, config=EngineConfig(obs=obs,
+                                               **(config_kw or {})))
+    engine.load_image(image)
+    result = engine.explore()
+    return result, recorder.tree
+
+
+@pytest.mark.parametrize("target", ["rv32", "mips32"])
+class TestTreeMatchesResult:
+    def test_leaves_match_paths(self, target):
+        result, tree = explore_recorded(target)
+        leaves = tree.leaves()
+        assert len(leaves) == len(result.paths)
+        assert ({leaf.state_id for leaf in leaves}
+                == {path.state.state_id for path in result.paths})
+
+    def test_leaf_statuses_match_path_statuses(self, target):
+        result, tree = explore_recorded(target)
+        by_id = {path.state.state_id: path for path in result.paths}
+        for leaf in tree.leaves():
+            assert leaf.status == by_id[leaf.state_id].status
+            assert leaf.exit_code == by_id[leaf.state_id].exit_code
+
+    def test_defect_set_matches(self, target):
+        result, tree = explore_recorded(target)
+        assert result.defects, "maze has a reachable trap"
+        assert tree.defect_set() == {(d.kind, d.pc) for d in result.defects}
+
+    def test_step_totals_match(self, target):
+        result, tree = explore_recorded(target)
+        total = sum(node.steps for node in tree.nodes.values())
+        assert total == result.instructions_executed
+
+    def test_every_non_root_has_parent_edge(self, target):
+        _, tree = explore_recorded(target)
+        roots = tree.roots()
+        # State ids are process-global, so the root is the smallest id
+        # of this run rather than literally 0.
+        root_id = min(tree.nodes)
+        assert len(roots) == 1 and roots[0].state_id == root_id
+        linked = {edge.child for edge in tree.edges
+                  if edge.kind != "merge"}
+        for node in tree.nodes.values():
+            if node.state_id == root_id:
+                continue
+            assert node.parent is not None
+            assert node.state_id in linked
+
+    def test_no_live_nodes_after_exhaustive_run(self, target):
+        _, tree = explore_recorded(target)
+        assert tree.stats()["live"] == 0
+
+    def test_fork_edges_carry_condition_summaries(self, target):
+        _, tree = explore_recorded(target)
+        conds = [e.cond for e in tree.edges if e.kind == "fork"]
+        assert conds and any(conds), "maze forks must carry conditions"
+
+
+class TestOfflineReconstruction:
+    def test_jsonl_round_trip_identical(self, tmp_path):
+        model, image = build_kernel("maze", "rv32", depth=3,
+                                    solution=0b010)
+        out = tmp_path / "run.jsonl"
+        obs = Obs.default()
+        recorder = FlightRecorder()
+        obs.add_sink(recorder)
+        obs.add_sink(JsonlSink(str(out)))
+        engine = Engine(model, config=EngineConfig(obs=obs))
+        engine.load_image(image)
+        result = engine.explore()
+        obs.close()
+
+        offline, warnings = ExecutionTree.from_jsonl(str(out))
+        assert warnings == []
+        online = recorder.tree
+        assert offline.stats() == online.stats()
+        assert offline.defect_set() == online.defect_set()
+        assert len(offline.leaves()) == len(result.paths)
+        assert ([n.to_dict() for n in offline.nodes.values()]
+                == [n.to_dict() for n in online.nodes.values()])
+        assert ([e.to_dict() for e in offline.edges]
+                == [e.to_dict() for e in online.edges])
+
+
+class TestMergeHandling:
+    def test_merged_states_are_dag_links_not_leaves(self):
+        model, image = build_kernel("diamonds", "rv32", count=4)
+        obs = Obs.default()
+        recorder = FlightRecorder()
+        obs.add_sink(recorder)
+        engine = Engine(model, strategy="bfs",
+                        config=EngineConfig(merge_states=True, obs=obs))
+        engine.load_image(image)
+        result = engine.explore()
+        tree = recorder.tree
+
+        assert engine.strategy.merges > 0, "diamonds must merge under bfs"
+        merge_edges = [e for e in tree.edges if e.kind == "merge"]
+        assert merge_edges
+        merged = [n for n in tree.nodes.values() if n.status == "merged"]
+        assert merged
+        for node in merged:
+            assert node.merged_into is not None
+        # Merged-away states are neither leaves nor counted paths:
+        assert len(tree.leaves()) == len(result.paths)
+        assert tree.defect_set() == {(d.kind, d.pc) for d in result.defects}
+
+
+class TestPruned:
+    def test_trap_branch_is_pruned_with_reason(self):
+        # maze's trap branch dies via _PathEnd('trap'): it must appear
+        # as a pruned node with a parent edge, not a dangling orphan.
+        _, tree = explore_recorded("rv32")
+        pruned = [n for n in tree.nodes.values() if n.status == "pruned"]
+        assert pruned
+        for node in pruned:
+            assert node.prune_reason == "trap"
+            assert node.parent is not None
+
+    def test_pruned_nodes_are_not_leaves(self):
+        result, tree = explore_recorded("rv32")
+        leaf_ids = {leaf.state_id for leaf in tree.leaves()}
+        for node in tree.nodes.values():
+            if node.status == "pruned":
+                assert node.state_id not in leaf_ids
+
+
+class TestRenderers:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        _, tree = explore_recorded("rv32")
+        return tree
+
+    def test_ascii(self, tree):
+        text = tree.to_ascii()
+        assert "execution tree" in text
+        for node in tree.nodes.values():
+            assert "s%d " % node.state_id in text
+
+    def test_ascii_max_nodes(self, tree):
+        text = tree.to_ascii(max_nodes=1)
+        assert "more nodes" in text
+
+    def test_dot_is_well_formed(self, tree):
+        dot = tree.to_dot()
+        assert dot.startswith("digraph exploration {")
+        assert dot.rstrip().endswith("}")
+        for node in tree.nodes.values():
+            assert "s%d [" % node.state_id in dot
+        for edge in tree.edges:
+            assert "s%d -> s%d" % (edge.parent, edge.child) in dot
+
+    def test_json_round_trips(self, tree):
+        import json
+        payload = json.loads(tree.to_json())
+        assert payload["isa"] == "rv32"
+        assert payload["stats"] == tree.stats()
+        assert len(payload["nodes"]) == len(tree.nodes)
+        assert len(payload["edges"]) == len(tree.edges)
+
+    def test_live_recorder_matches_ring_rebuild(self):
+        # FlightRecorder consuming events live == from_events on the
+        # same buffered stream.
+        model, image = build_kernel("maze", "rv32", depth=2,
+                                    solution=0b11)
+        obs = Obs.default()
+        recorder = FlightRecorder()
+        ring = RingBufferSink(capacity=100000)
+        obs.add_sink(recorder)
+        obs.add_sink(ring)
+        engine = Engine(model, config=EngineConfig(obs=obs))
+        engine.load_image(image)
+        engine.explore()
+        rebuilt = ExecutionTree.from_events(ring.events())
+        assert rebuilt.stats() == recorder.tree.stats()

@@ -22,7 +22,7 @@ def solve(target, kernel, **params):
 class TestKernelCatalog:
     def test_all_kernels_listed(self):
         assert set(KERNELS) == {"maze", "password", "checksum", "bsearch",
-                                "dispatcher", "diamonds"}
+                                "dispatcher", "diamonds", "exerciser"}
 
     def test_unknown_kernel_rejected(self):
         with pytest.raises(KeyError):

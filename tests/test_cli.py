@@ -161,6 +161,141 @@ class TestCfg:
         assert "3 blocks" in capsys.readouterr().out
 
 
+BRANCHY = """
+.org 0x1000
+.entry start
+start:
+    inb x1
+    andi x1, x1, 1
+    beq x1, x0, even
+    addi x2, x0, 1
+    jal x0, done
+even:
+    addi x2, x0, 2
+done:
+    outb x2
+    halt 0
+"""
+
+
+@pytest.fixture
+def run_file(tmp_path):
+    """An exploration persisted with --telemetry-out."""
+    source = tmp_path / "branchy.s"
+    source.write_text(BRANCHY)
+    run = tmp_path / "run.jsonl"
+    assert main(["explore", "rv32", str(source),
+                 "--telemetry-out", str(run)]) == 0
+    return str(run)
+
+
+class TestTelemetryReaders:
+    """stats / tree / speccov share one tolerant loader (satellite 2)."""
+
+    def test_stats(self, run_file, capsys):
+        assert main(["stats", run_file]) == 0
+        out = capsys.readouterr().out
+        assert "per-event-kind" in out and "step" in out
+
+    def test_tree_ascii(self, run_file, capsys):
+        assert main(["tree", run_file]) == 0
+        out = capsys.readouterr().out
+        assert "execution tree" in out
+        assert "halted" in out
+
+    def test_tree_dot_to_file(self, run_file, tmp_path, capsys):
+        out_path = tmp_path / "tree.dot"
+        assert main(["tree", run_file, "--format", "dot",
+                     "--out", str(out_path)]) == 0
+        assert out_path.read_text().startswith("digraph exploration {")
+
+    def test_tree_json(self, run_file, capsys):
+        import json
+        assert main(["tree", run_file, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["isa"] == "rv32"
+        assert payload["stats"]["leaves"] == len(payload["nodes"]) - \
+            payload["stats"]["pruned"] - payload["stats"]["live"] - \
+            sum(1 for n in payload["nodes"] if n["status"] == "merged")
+
+    def test_speccov_report_and_gate(self, run_file, capsys):
+        assert main(["speccov", run_file, "--min-ratio", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "spec coverage: rv32" in out
+        assert "gate: every ISA >= 0.05" in out
+
+    def test_speccov_gate_failure(self, run_file, capsys):
+        assert main(["speccov", run_file, "--min-ratio", "1.1"]) == 1
+        err = capsys.readouterr().err
+        assert "rule coverage below 1.10" in err
+
+    def test_speccov_annotate(self, run_file, capsys):
+        assert main(["speccov", run_file, "--annotate"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# annotated spec coverage: rv32")
+
+    @pytest.mark.parametrize("command", ["stats", "tree", "speccov"])
+    def test_missing_file_is_one_line_error(self, command, tmp_path,
+                                            capsys):
+        assert main([command, str(tmp_path / "absent.jsonl")]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    @pytest.mark.parametrize("command", ["stats", "tree", "speccov"])
+    def test_empty_file_is_one_line_error(self, command, tmp_path,
+                                          capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main([command, str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "empty" in captured.err
+        assert "Traceback" not in captured.err
+
+    @pytest.mark.parametrize("command", ["stats", "tree", "speccov"])
+    def test_garbage_file_is_one_line_error(self, command, tmp_path,
+                                            capsys):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("not json\n{{{\n")
+        assert main([command, str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "no parseable" in captured.err
+
+    def test_truncated_trailing_line_warns_but_succeeds(
+            self, run_file, tmp_path, capsys):
+        # Chop the file mid-record, as a killed run would leave it.
+        data = open(run_file).read()
+        truncated = tmp_path / "trunc.jsonl"
+        truncated.write_text(data[:len(data) - 25])
+        assert main(["tree", str(truncated)]) == 0
+        captured = capsys.readouterr()
+        assert "truncated trailing write" in captured.err
+        assert "execution tree" in captured.out
+
+    def test_tree_on_eventless_run(self, tmp_path, capsys):
+        path = tmp_path / "meta-only.jsonl"
+        path.write_text('{"kind": "meta", "record": "schema", '
+                        '"version": 2}\n')
+        assert main(["tree", str(path)]) == 1
+        assert "no step/fork events" in capsys.readouterr().err
+
+    def test_speccov_on_eventless_run(self, tmp_path, capsys):
+        path = tmp_path / "meta-only.jsonl"
+        path.write_text('{"kind": "meta", "record": "schema", '
+                        '"version": 2}\n')
+        assert main(["speccov", str(path)]) == 1
+        assert "no step events" in capsys.readouterr().err
+
+    def test_explore_prints_unified_coverage(self, run_file, tmp_path,
+                                             capsys):
+        source = tmp_path / "branchy2.s"
+        source.write_text(BRANCHY)
+        assert main(["explore", "rv32", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "coverage:" in out
+        assert "speccov[rv32]" in out
+
+
 class TestParsing:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
