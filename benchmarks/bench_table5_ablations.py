@@ -1,6 +1,6 @@
 """Table 5 — Ablations of the design choices DESIGN.md calls out.
 
-Three switches, measured on the maze and checksum kernels:
+Four switches, measured on the maze and checksum kernels:
 
 * **hash-consing off** — every term construction allocates; structural
   sharing (and the interning fast path for equality) is lost.
@@ -8,10 +8,15 @@ Three switches, measured on the maze and checksum kernels:
   the bit-blaster are much larger.
 * **copy-on-write off** — forking a path deep-copies all touched memory
   pages instead of sharing them.
+* **solver cache off** — no query-result cache, no unsat subsumption,
+  no model-reuse fast path, no per-state frame reuse; every feasibility
+  check reaches the solving layers (the ``--no-solver-cache`` baseline;
+  ``benchmarks/bench_solver_cache.py`` measures this one in depth).
 
 Paper-shape expectation: each switch costs a measurable constant factor;
 simplification matters most on solver-bound workloads, COW on fork-heavy
-ones.
+ones, and the solver cache on branch-heavy ones with long shared
+path-condition prefixes.
 """
 
 import pytest
@@ -29,22 +34,29 @@ WORKLOADS = [
 ]
 
 CONFIGS = [
-    ("baseline", {"hash_consing": True, "simplify": True, "cow": True}),
+    ("baseline", {"hash_consing": True, "simplify": True, "cow": True,
+                  "solver_cache": True}),
     ("no hash-consing", {"hash_consing": False, "simplify": True,
-                         "cow": True}),
-    ("no simplify", {"hash_consing": True, "simplify": False, "cow": True}),
+                         "cow": True, "solver_cache": True}),
+    ("no simplify", {"hash_consing": True, "simplify": False, "cow": True,
+                     "solver_cache": True}),
     ("no COW memory", {"hash_consing": True, "simplify": True,
-                       "cow": False}),
+                       "cow": False, "solver_cache": True}),
+    ("no solver cache", {"hash_consing": True, "simplify": True,
+                         "cow": True, "solver_cache": False}),
 ]
 
 
-def run_config(kernel, params, hash_consing, simplify, cow):
+def run_config(kernel, params, hash_consing, simplify, cow,
+               solver_cache=True):
     previous = T.set_pool(T.TermPool(hash_consing=hash_consing,
                                      simplify=simplify))
     try:
         model, image = build_kernel(kernel, "rv32", **params)
-        config = EngineConfig(collect_path_inputs=False, cow_memory=cow)
-        engine = Engine(model, solver=Solver(), config=config)
+        config = EngineConfig(collect_path_inputs=False, cow_memory=cow,
+                              use_solver_cache=solver_cache)
+        engine = Engine(model, solver=Solver(use_query_cache=solver_cache),
+                        config=config)
         engine.load_image(image)
         result, wall = timed(engine.explore)
         pool_stats = T.pool_stats()

@@ -36,7 +36,8 @@ import argparse
 import sys
 
 from . import __version__
-from .core import Engine, EngineConfig, measure, trace_run
+from .core import (Engine, EngineConfig, measure, solver_cache_summary,
+                   trace_run)
 from .isa import assemble, build, format_instruction, run_image
 from .isa.cfg import recover_cfg
 from .obs import (ExecutionTree, JsonlSink, Obs, SpecCoverage,
@@ -165,6 +166,7 @@ def cmd_explore(args) -> int:
         check_tainted_control=args.taint,
         merge_states=args.merge,
         collect_coverage=True,
+        use_solver_cache=not getattr(args, "no_solver_cache", False),
         obs=obs,
     )
     engine = Engine(model, config=config, strategy=args.strategy,
@@ -176,6 +178,9 @@ def cmd_explore(args) -> int:
                           track_uninit=args.uninit)
     result = engine.explore()
     print(result.summary())
+    cache_line = result.solver_cache_line()
+    if cache_line is not None:
+        print(cache_line)
     for defect in result.defects:
         print("defect: %-24s pc=%#x instr=%-8s input=%r"
               % (defect.kind, defect.pc, defect.instruction,
@@ -270,6 +275,9 @@ def cmd_stats(args) -> int:
             print("\ncounters:")
             for name in sorted(counters):
                 print("  %-24s %10d" % (name, counters[name]))
+        cache_line = solver_cache_summary(telemetry.get("solver"))
+        if cache_line is not None:
+            print("\n" + cache_line)
     return 0
 
 
@@ -392,6 +400,10 @@ def main(argv=None) -> int:
     explore.add_argument("--region", action="append",
                          metavar="START:SIZE",
                          help="map extra memory (repeatable)")
+    explore.add_argument("--no-solver-cache", action="store_true",
+                         help="disable the solver query cache and the "
+                              "engine's incremental check reuse "
+                              "(ablation baseline)")
     explore.add_argument("--telemetry-out", metavar="FILE.jsonl",
                          help="write a structured event trace (JSONL); "
                               "inspect with 'repro stats FILE.jsonl'")

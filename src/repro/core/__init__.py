@@ -18,6 +18,7 @@ from .reporting import (  # noqa: F401
     Defect,
     ExplorationResult,
     PathResult,
+    solver_cache_summary,
 )
 from .state import SymState  # noqa: F401
 from .strategy import (  # noqa: F401

@@ -7,6 +7,15 @@ itself executed, until no unseen inputs remain or the budget runs out.
 
 Reuses the engine's single-step machinery, so the ISA-independence of the
 generated engine carries over unchanged.
+
+Sibling-flip queries are the solver query cache's best customer: every
+flip shares the path prefix of its generation, and later generations
+re-derive earlier flips verbatim (a sibling reached through a different
+seed poses the exact same query).  With the engine's default
+``use_solver_cache=True`` those re-derivations are exact cache hits and
+prefix-related ones ride model reuse, so the per-generation solve cost
+stays proportional to the *new* branches only.  The counters show up in
+``self.result.solver_cache_line()`` like any exploration.
 """
 
 from __future__ import annotations
@@ -122,6 +131,9 @@ class ConcolicExplorer:
         return chosen
 
     def _solve_sibling(self, state) -> Optional[bytes]:
+        # Rides the solver's query cache: generations re-pose sibling
+        # queries (same flip reached via different seeds) as exact
+        # repeats, and shared path prefixes feed the model-reuse layer.
         if self.engine.solver.check(extra=state.path_condition) != SAT:
             return None
         return state.input_bytes_from_model(self.engine.solver.model())

@@ -72,6 +72,7 @@ class EngineConfig:
                  collect_path_inputs: bool = True,
                  collect_coverage: bool = False,
                  cow_memory: bool = True,
+                 use_solver_cache: bool = True,
                  obs: Optional[Obs] = None):
         self.max_steps_per_path = max_steps_per_path
         self.max_states = max_states
@@ -107,6 +108,11 @@ class EngineConfig:
         self.collect_path_inputs = collect_path_inputs
         self.collect_coverage = collect_coverage
         self.cow_memory = cow_memory
+        # Solver caching/reuse layer (Table 5 ablation; CLI
+        # --no-solver-cache).  Governs both the solver's query-result
+        # cache (repro.smt.cache) and the engine's per-state frame-model
+        # reuse for branch feasibility checks (_branch_feasible).
+        self.use_solver_cache = use_solver_cache
         # Observability handle (repro.obs).  None means "engine default":
         # enabled counters, no event sink, no profiler — negligible
         # overhead.  Pass Obs.disabled() for a zero-telemetry baseline,
@@ -143,7 +149,11 @@ class Engine:
                  seed: int = 0):
         self.model = model
         self.config = config if config is not None else EngineConfig()
-        self.solver = solver if solver is not None else Solver()
+        self.solver = solver if solver is not None else Solver(
+            use_query_cache=self.config.use_solver_cache)
+        # Engine-side incremental check reuse rides the same ablation
+        # switch as the solver's query cache (see _branch_feasible).
+        self._frame_reuse = self.config.use_solver_cache
         # -- observability wiring (see repro.obs) --------------------------
         self.obs = (self.config.obs if self.config.obs is not None
                     else Obs.default())
@@ -540,19 +550,67 @@ class Engine:
                 return [(state, outcome)]
         return [(state, outcome)]
 
+    def _branch_feasible(self, state: SymState, branch_cond: T.Term):
+        """Feasibility of ``state.path_condition ∧ branch_cond``.
+
+        Returns ``(verdict, model, memo)``: the witnessing model (and,
+        when it came from the state's cached frame, the shared
+        evaluation memo) on SAT, ``(verdict, None, None)`` otherwise.
+
+        This is the incremental check-reuse fast path: each state keeps
+        the last model known to satisfy its path condition plus a
+        watermark of how many conjuncts that model has been validated
+        against.  A branch check then only evaluates the *unvalidated
+        suffix* and the branch condition under the cached model — no
+        solver call, no re-blasting of the shared prefix.  Because a
+        model is total (unassigned variables evaluate as 0), exactly one
+        of ``c`` / ``¬c`` is true under it, so at most one sibling per
+        fork falls through to the solver.  Sound by construction: the
+        fast path only ever answers SAT, with an explicit witness.
+        """
+        if self._frame_reuse:
+            model = state.frame_model
+            if model is not None:
+                memo = state.frame_memo
+                path = state.path_condition
+                if T.all_true(path[state.frame_checked:], model, memo):
+                    state.frame_checked = len(path)
+                    if T.all_true((branch_cond,), model, memo):
+                        self.solver.note_frame_reuse()
+                        return SAT, model, memo
+                else:
+                    # A newer conjunct falsified the cached model; drop
+                    # the frame (replace, never mutate: forks share it).
+                    state.frame_model = None
+                    state.frame_memo = {}
+                    state.frame_checked = 0
+        verdict = self.solver.check(
+            extra=state.path_condition + [branch_cond])
+        if verdict != SAT:
+            return verdict, None, None
+        return SAT, (self.solver.model() if self._frame_reuse else None), None
+
     def _fork_if(self, state, stmt, cond, frames, local_values, outcome,
                  fields, decoded) -> List[Tuple[SymState, _Outcome]]:
         results: List[Tuple[SymState, _Outcome]] = []
         branches = ((cond, stmt.then_body), (T.not_(cond), stmt.else_body))
         feasible = []
         for branch_cond, body in branches:
-            if self.solver.check(
-                    extra=state.path_condition + [branch_cond]) == SAT:
-                feasible.append((branch_cond, body))
-        for position, (branch_cond, body) in enumerate(feasible):
+            verdict, model, memo = self._branch_feasible(state, branch_cond)
+            if verdict == SAT:
+                feasible.append((branch_cond, body, model, memo))
+        for position, (branch_cond, body, model, memo) in enumerate(feasible):
             last = position == len(feasible) - 1
             branch_state = state if last else state.fork()
             branch_state.assume(branch_cond)
+            if model is not None:
+                # Seed the child's frame with the witness that proved
+                # this branch: it satisfies the extended path condition,
+                # so the child's next branch check starts validated.
+                branch_state.frame_model = model
+                branch_state.frame_memo = memo if memo is not None else {}
+                branch_state.frame_checked = \
+                    len(branch_state.path_condition)
             branch_frames = [(stmts, idx) for stmts, idx in frames]
             if body:
                 branch_frames.append((tuple(body), 0))

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 __all__ = ["Defect", "PathResult", "ExplorationResult",
+           "solver_cache_summary",
            "DIV_BY_ZERO", "OOB_ACCESS", "UNINIT_READ", "TRAP",
            "INVALID_INSTRUCTION", "WRITE_TO_CODE", "TAINTED_CONTROL"]
 
@@ -16,6 +17,29 @@ TRAP = "reachable-trap"                   # assertion failure
 INVALID_INSTRUCTION = "invalid-instruction"
 WRITE_TO_CODE = "write-to-code"
 TAINTED_CONTROL = "tainted-control-flow"  # CWE-(94/)822: pc from input
+
+
+def solver_cache_summary(stats) -> Optional[str]:
+    """One-line digest of the solver-cache portion of a solver stats
+    delta (``SolverStats.as_dict`` shape), or None when the cache layer
+    never fired (e.g. under ``--no-solver-cache``).  Shared by
+    :meth:`ExplorationResult.solver_cache_line` and ``repro stats``.
+    """
+    if not isinstance(stats, dict):
+        return None
+    hits = int(stats.get("cache_hit_sat", 0)
+               + stats.get("cache_hit_unsat", 0))
+    model_reuse = int(stats.get("cache_model_reuse", 0))
+    subsumed = int(stats.get("cache_subsumed_unsat", 0))
+    frame = int(stats.get("frame_reuse", 0))
+    misses = int(stats.get("cache_misses", 0))
+    if hits + model_reuse + subsumed + frame + misses == 0:
+        return None
+    probes = hits + model_reuse + subsumed + misses
+    ratio = (hits + model_reuse + subsumed) / probes if probes else 0.0
+    return ("solver cache: hits=%d model_reuse=%d subsumed=%d "
+            "misses=%d frame_reuse=%d hit_ratio=%.2f"
+            % (hits, model_reuse, subsumed, misses, frame, ratio))
 
 
 class Defect:
@@ -95,9 +119,17 @@ class ExplorationResult:
                    self.instructions_executed, self.states_forked,
                    solver_checks, self.wall_time, self.stop_reason))
 
+    def solver_cache_line(self) -> Optional[str]:
+        """One-line digest of the solver cache layer, or None when the
+        cache never fired (e.g. ``--no-solver-cache``)."""
+        return solver_cache_summary(self.solver_stats)
+
     def details(self) -> str:
-        """The summary line plus one line per defect."""
+        """The summary line, the solver-cache line, one line per defect."""
         lines = [self.summary()]
+        cache_line = self.solver_cache_line()
+        if cache_line is not None:
+            lines.append("  " + cache_line)
         for defect in self.defects:
             lines.append("  %s at %#x: %s (input %r)"
                          % (defect.kind, defect.pc, defect.message,

@@ -30,6 +30,7 @@ from .events import (  # noqa: F401
     PATH_END,
     PRUNE,
     SCHEMA_VERSION,
+    SOLVER_CACHE,
     SOLVER_CHECK,
     STEP,
     Event,
@@ -67,8 +68,8 @@ __all__ = ["Obs", "MetricsRegistry", "Counter", "Gauge", "Histogram",
            "TelemetryError",
            "ExecutionTree", "FlightRecorder", "TreeEdge", "TreeNode",
            "SpecCoverage", "IsaSpecCoverage", "rule_coverage_from_visited",
-           "STEP", "FORK", "MERGE", "SOLVER_CHECK", "PATH_END", "DEFECT",
-           "DECODE_CACHE", "PRUNE"]
+           "STEP", "FORK", "MERGE", "SOLVER_CHECK", "SOLVER_CACHE",
+           "PATH_END", "DEFECT", "DECODE_CACHE", "PRUNE"]
 
 
 class Obs:

@@ -11,7 +11,10 @@ Event kinds
 ``step``          one instruction executed (``instr`` payload)
 ``fork``          a state split (``children`` payload: new state ids)
 ``merge``         two states merged (``merged_from`` payload)
-``solver_check``  one solver query (``result``, ``ms`` payload)
+``solver_check``  one *solved* solver query (``result``, ``ms`` payload)
+``solver_cache``  a query answered without solving (``layer`` payload:
+                  ``exact`` / ``subsume`` / ``model`` / ``frame``, plus
+                  ``result``); cached answers never emit ``solver_check``
 ``path_end``      a path finished (``status``, optional ``exit_code``)
 ``defect``        a defect was filed (``kind``, ``message``)
 ``decode_cache``  an instruction fetch (``hit`` payload)
@@ -24,6 +27,9 @@ Version 2 (this release) adds the ``prune`` kind, per-edge branch
 condition summaries on ``fork`` events (``conds``, aligned with
 ``children``) and the ``duplicate`` flag on ``merge`` events; readers of
 version-1 files keep working (the additions are optional payload keys).
+The ``solver_cache`` kind is an additive extension within version 2:
+readers that dispatch on known kinds ignore it (sinks and the flight
+recorder are tolerant of unknown kinds by design).
 """
 
 from __future__ import annotations
@@ -32,8 +38,8 @@ import time
 from typing import Dict, List, Optional
 
 __all__ = ["Event", "EventTracer", "EVENT_KINDS", "SCHEMA_VERSION",
-           "STEP", "FORK", "MERGE", "SOLVER_CHECK", "PATH_END", "DEFECT",
-           "DECODE_CACHE", "PRUNE"]
+           "STEP", "FORK", "MERGE", "SOLVER_CHECK", "SOLVER_CACHE",
+           "PATH_END", "DEFECT", "DECODE_CACHE", "PRUNE"]
 
 #: Wire-format version stamped into JSONL run files (a ``meta`` record
 #: written by :class:`~repro.obs.sinks.JsonlSink`).
@@ -43,13 +49,14 @@ STEP = "step"
 FORK = "fork"
 MERGE = "merge"
 SOLVER_CHECK = "solver_check"
+SOLVER_CACHE = "solver_cache"
 PATH_END = "path_end"
 DEFECT = "defect"
 DECODE_CACHE = "decode_cache"
 PRUNE = "prune"
 
-EVENT_KINDS = (STEP, FORK, MERGE, SOLVER_CHECK, PATH_END, DEFECT,
-               DECODE_CACHE, PRUNE)
+EVENT_KINDS = (STEP, FORK, MERGE, SOLVER_CHECK, SOLVER_CACHE, PATH_END,
+               DEFECT, DECODE_CACHE, PRUNE)
 
 
 class Event:

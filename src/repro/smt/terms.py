@@ -19,12 +19,15 @@ manipulation.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from typing import Dict, Iterable, Optional, Tuple
 
 __all__ = [
     "Term",
     "TermPool",
+    "digest",
+    "query_key",
     "SmtError",
     "WidthError",
     "configure",
@@ -136,7 +139,8 @@ class Term:
     (:func:`bv`, :func:`var`, :func:`add`, ...), which simplify and intern.
     """
 
-    __slots__ = ("op", "width", "args", "value", "name", "params", "_id", "_hash")
+    __slots__ = ("op", "width", "args", "value", "name", "params", "_id",
+                 "_hash", "_digest")
 
     _counter = itertools.count()
 
@@ -150,6 +154,9 @@ class Term:
         self._id = next(Term._counter)
         self._hash = hash((op, width, value, name, params,
                            tuple(a._id for a in args)))
+        # Lazily computed structural digest (see ``digest``): stable
+        # across pools, processes and runs — the solver's query-cache key.
+        self._digest = None
 
     @property
     def tid(self) -> int:
@@ -936,3 +943,65 @@ def term_size(term: Term) -> int:
         seen.add(node._id)
         stack.extend(node.args)
     return len(seen)
+
+
+# ---------------------------------------------------------------------------
+# Stable structural digesting (the solver query-cache key material)
+# ---------------------------------------------------------------------------
+
+_DIGEST_SIZE = 16
+
+
+def _node_digest(node: Term, child_digests) -> bytes:
+    hasher = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    hasher.update(node.op.encode("ascii"))
+    hasher.update(b"|%d|" % node.width)
+    if node.op == CONST:
+        hasher.update(b"%x" % node.value)
+    elif node.op == VAR:
+        hasher.update(node.name.encode("utf-8", "surrogatepass"))
+    if node.params:
+        hasher.update(("<%s>" % ",".join(str(p) for p in node.params))
+                      .encode("ascii"))
+    for child in child_digests:
+        hasher.update(child)
+    return hasher.digest()
+
+
+def digest(term: Term) -> bytes:
+    """Stable structural digest of a term (16-byte blake2b).
+
+    Unlike ``hash(term)`` (which keys on interning ids), the digest is a
+    pure function of the term's structure: identical across pools,
+    processes and runs.  This makes it safe cache-key material — the
+    solver's query cache keys each ``check()`` on the *set* of conjunct
+    digests, so conjunct order and duplication cannot split cache
+    entries (see :func:`query_key`).  Digests are memoized on the term,
+    so amortized cost is one blake2b per distinct node.
+    """
+    cached = term._digest
+    if cached is not None:
+        return cached
+    stack = [(term, False)]
+    while stack:
+        node, ready = stack.pop()
+        if node._digest is not None:
+            continue
+        if not ready:
+            stack.append((node, True))
+            for arg in node.args:
+                if arg._digest is None:
+                    stack.append((arg, False))
+            continue
+        node._digest = _node_digest(node, (a._digest for a in node.args))
+    return term._digest
+
+
+def query_key(conds: Iterable[Term]) -> frozenset:
+    """Canonical, order-independent key for a conjunction of booleans.
+
+    The key is the frozenset of per-conjunct digests: reordered or
+    duplicated conjuncts produce the same key, which is exactly the
+    equivalence the solver's query cache wants (a conjunction is a set).
+    """
+    return frozenset(digest(cond) for cond in conds)

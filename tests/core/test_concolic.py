@@ -94,3 +94,32 @@ class TestConcolicKernels:
         explorer = concolic_for("rv32", ".org 0x1000\nhalt 0")
         explorer.explore()
         assert "halted" in repr(explorer.runs[0])
+
+
+class TestConcolicSolverCache:
+    """Sibling-flip queries ride the solver query cache (and must not
+    change what generational search finds)."""
+
+    @staticmethod
+    def _explore(use_cache):
+        from repro.smt import Solver
+        model, image = build_kernel("maze", "rv32", depth=6)
+        engine = Engine(model, solver=Solver(use_query_cache=use_cache),
+                        config=EngineConfig(use_solver_cache=use_cache))
+        engine.load_image(image)
+        explorer = ConcolicExplorer(engine)
+        result = explorer.explore(seed=bytes(6), max_runs=64)
+        return explorer, result, engine
+
+    def test_cache_agnostic_search_outcome(self):
+        cached, cached_result, engine = self._explore(True)
+        plain, plain_result, _ = self._explore(False)
+        assert len(cached.runs) == len(plain.runs)
+        assert (sorted(r.status for r in cached.runs)
+                == sorted(r.status for r in plain.runs))
+        assert len(cached_result.paths) == len(plain_result.paths)
+        assert len(cached_result.defects) == len(plain_result.defects)
+        # The repeated sibling queries actually hit the cache.
+        stats = engine.solver.stats
+        assert stats.cache_hits_total() + stats.cache_model_reuse > 0
+        assert cached_result.solver_cache_line() is not None

@@ -189,3 +189,41 @@ def test_simulator_matches_engine_on_full_kernels(target):
     assert explorer.runs[0].status == "halted"
     path = result.paths[0]
     assert path.exit_code == sim.exit_code
+
+
+# -- solver-cache soundness across ISAs ------------------------------------
+#
+# The query cache + incremental check reuse must be *observationally
+# invisible*: running the whole defect suite with the cache on and off
+# must produce identical defect reports, path counts and leaf states.
+# Inputs witnessing a path may legitimately differ (any model of the
+# path condition is a valid witness), so they are compared for validity
+# elsewhere (tests/smt/test_cache_differential.py), not for equality.
+
+def _suite_fingerprint(target, use_cache):
+    """Canonical exploration fingerprint of the defect suite."""
+    from repro.programs import all_cases, run_case
+
+    fingerprint = []
+    for case in all_cases():
+        for variant in ("bad", "good"):
+            config = EngineConfig(max_steps_per_path=4096,
+                                  use_solver_cache=use_cache)
+            detected, result, _image = run_case(case, target, variant,
+                                                config=config)
+            defects = sorted((d.kind, d.pc, d.instruction)
+                             for d in result.defects)
+            leaves = sorted((p.status, p.state.pc, p.exit_code,
+                             len(p.state.path_condition),
+                             len(p.state.input_vars))
+                            for p in result.paths)
+            fingerprint.append((case.name, variant, detected,
+                                result.stop_reason, defects, leaves))
+    return fingerprint
+
+
+@pytest.mark.parametrize("target", ["rv32", "mips32"])
+def test_defect_suite_identical_with_and_without_solver_cache(target):
+    cached = _suite_fingerprint(target, use_cache=True)
+    uncached = _suite_fingerprint(target, use_cache=False)
+    assert cached == uncached

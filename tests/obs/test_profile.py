@@ -111,3 +111,106 @@ class TestReporting:
             pass
         profiler.reset()
         assert profiler.snapshot() == {}
+
+
+class TestSolverCacheAccounting:
+    """Query-cache answers must not inflate measured solver work.
+
+    The accounting contract (SolverStats docstring): ``checks`` counts
+    every ``Solver.check`` call, but a call answered by the cache layer
+    adds nothing to the ``solver`` profiler phase, the
+    ``solver.check_ms`` histogram, ``solve_time`` or the
+    ``solver_check`` event count — it is counted under ``cache_*`` and
+    emits one ``solver_cache`` event instead.
+    """
+
+    @staticmethod
+    def _solver_with_obs():
+        from repro.obs import Obs, RingBufferSink
+        from repro.smt import Solver
+
+        obs = Obs(metrics=True, profile=True)
+        ring = RingBufferSink(capacity=1000)
+        obs.add_sink(ring)
+        solver = Solver()
+        solver.attach_obs(obs)
+        return solver, obs, ring
+
+    @staticmethod
+    def _by_kind(ring):
+        counts = {}
+        for event in ring.events():
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def test_cached_hit_skips_phase_histogram_and_event(self):
+        from repro.smt import SAT
+        from repro.smt import terms as T
+
+        solver, obs, ring = self._solver_with_obs()
+        cond = T.ult(T.var("acc_a", 8), T.bv(9, 8))
+        assert solver.check(extra=[cond]) == SAT
+
+        phase_calls = obs.profiler.stats("solver").calls
+        hist_count = obs.metrics.histogram("solver.check_ms").count
+        solve_time = solver.stats.solve_time
+        checks = solver.stats.checks
+        events = self._by_kind(ring)
+
+        assert solver.check(extra=[cond]) == SAT  # exact cache hit
+
+        assert solver.stats.checks == checks + 1
+        assert solver.stats.cache_hit_sat == 1
+        # None of the solver-work meters moved.
+        assert obs.profiler.stats("solver").calls == phase_calls
+        assert obs.metrics.histogram("solver.check_ms").count == hist_count
+        assert solver.stats.solve_time == solve_time
+        after = self._by_kind(ring)
+        assert after.get("solver_check", 0) == events.get("solver_check", 0)
+        assert after.get("solver_cache", 0) \
+            == events.get("solver_cache", 0) + 1
+        assert obs.metrics.counter("solver.cache_hit").value == 1
+
+    def test_solved_query_is_fully_metered(self):
+        from repro.smt import SAT
+        from repro.smt import terms as T
+
+        solver, obs, ring = self._solver_with_obs()
+        # x > 9: the zero-model fast path cannot answer this one, so it
+        # must reach the solving layers and be fully metered.
+        cond = T.ult(T.bv(9, 8), T.var("acc_b", 8))
+        assert solver.check(extra=[cond]) == SAT
+        assert obs.profiler.stats("solver").calls == 1
+        assert obs.metrics.histogram("solver.check_ms").count == 1
+        assert self._by_kind(ring).get("solver_check", 0) == 1
+        assert obs.metrics.counter("solver.cache_miss").value == 1
+
+    def test_frame_reuse_counts_without_solver_work(self):
+        from repro.smt import Solver
+
+        solver, obs, ring = self._solver_with_obs()
+        solver.note_frame_reuse()
+        assert solver.stats.frame_reuse == 1
+        assert solver.stats.checks == 0
+        assert obs.profiler.stats("solver").calls == 0
+        assert obs.metrics.counter("solver.frame_reuse").value == 1
+        events = self._by_kind(ring)
+        assert events.get("solver_cache", 0) == 1
+        assert events.get("solver_check", 0) == 0
+
+    def test_delta_since_covers_cache_fields(self):
+        from repro.smt import SAT, Solver
+        from repro.smt import terms as T
+
+        solver = Solver()
+        cond = T.ult(T.var("acc_c", 8), T.bv(9, 8))
+        assert solver.check(extra=[cond]) == SAT
+        before = solver.stats.as_dict()
+        assert solver.check(extra=[cond]) == SAT
+        solver.note_frame_reuse()
+        delta = solver.stats.delta_since(before)
+        assert delta["checks"] == 1
+        assert delta["cache_hit_sat"] == 1
+        assert delta["frame_reuse"] == 1
+        assert delta["sat_calls"] == 0
+        assert delta["solve_time"] == 0.0
