@@ -22,10 +22,10 @@ import sys
 import time
 
 from repro.core import Engine, EngineConfig
-from repro.obs import FlightRecorder, Obs
+from repro.obs import FlightRecorder, HealthConfig, Obs
 from repro.programs import build_kernel
 
-MAX_OVERHEAD = 0.15     # counters must cost < 15% vs. disabled
+MAX_OVERHEAD = 0.15     # counters (and +health) must cost < 15% vs. disabled
 REPEATS = 5             # best-of to suppress scheduler noise
 WORKLOAD = ("maze", {"depth": 6, "solution": 0b101100})
 
@@ -39,9 +39,11 @@ def _recording() -> Obs:
     return obs
 
 
-def run_once(obs_factory) -> float:
+def run_once(obs_factory, health_factory=None) -> float:
     model, image = build_kernel(WORKLOAD[0], "rv32", **WORKLOAD[1])
-    config = EngineConfig(collect_path_inputs=False, obs=obs_factory())
+    health = health_factory() if health_factory is not None else None
+    config = EngineConfig(collect_path_inputs=False, obs=obs_factory(),
+                          health=health)
     engine = Engine(model, config=config)
     engine.load_image(image)
     start = time.perf_counter()
@@ -51,8 +53,10 @@ def run_once(obs_factory) -> float:
     return elapsed
 
 
-def best_of(obs_factory, repeats: int = REPEATS) -> float:
-    return min(run_once(obs_factory) for _ in range(repeats))
+def best_of(obs_factory, health_factory=None,
+            repeats: int = REPEATS) -> float:
+    return min(run_once(obs_factory, health_factory)
+               for _ in range(repeats))
 
 
 def main(argv) -> int:
@@ -63,24 +67,41 @@ def main(argv) -> int:
     counters = best_of(Obs.default)
     profiled = best_of(lambda: Obs(metrics=True, profile=True))
     recording = best_of(_recording)
+    # Health monitor at its default cadence (sample every 256 steps):
+    # guarded alongside the counters — a monitored run must stay cheap
+    # enough to leave on in CI.
+    monitored = best_of(Obs.default, HealthConfig)
     overhead = (counters - disabled) / disabled if disabled else 0.0
+    health_overhead = ((monitored - disabled) / disabled
+                       if disabled else 0.0)
     print("== telemetry overhead (best of %d, maze depth=%d) =="
           % (REPEATS, WORKLOAD[1]["depth"]))
     print("disabled:          %8.4fs" % disabled)
     print("counters (default):%8.4fs  (%+.1f%%)" % (counters,
                                                     100 * overhead))
+    print("counters+health:   %8.4fs  (%+.1f%%)"
+          % (monitored, 100 * health_overhead))
     print("counters+profiler: %8.4fs  (%+.1f%%)"
           % (profiled, 100 * (profiled - disabled) / disabled))
     print("counters+recorder: %8.4fs  (%+.1f%%)  [opt-in, not guarded]"
           % (recording, 100 * (recording - disabled) / disabled))
     if report_only:
         return 0
+    failed = False
     if overhead >= MAX_OVERHEAD:
         print("FAIL: default telemetry overhead %.1f%% >= %.0f%% budget"
               % (100 * overhead, 100 * MAX_OVERHEAD))
+        failed = True
+    if health_overhead >= MAX_OVERHEAD:
+        print("FAIL: health monitor overhead %.1f%% >= %.0f%% budget"
+              % (100 * health_overhead, 100 * MAX_OVERHEAD))
+        failed = True
+    if failed:
         return 1
-    print("OK: default telemetry overhead %.1f%% < %.0f%% budget"
-          % (100 * overhead, 100 * MAX_OVERHEAD))
+    print("OK: default telemetry %.1f%%, health monitor %.1f%% "
+          "< %.0f%% budget"
+          % (100 * overhead, 100 * health_overhead,
+             100 * MAX_OVERHEAD))
     return 0
 
 

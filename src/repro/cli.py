@@ -15,19 +15,32 @@ Subcommands::
     speccov <run.jsonl>         ADL spec coverage of a run — which
                                 semantic rules ran (``--min-ratio`` CI
                                 gate, ``--annotate`` spec margin view)
+    top <run.jsonl>             live TTY view of a running exploration
+                                (tails the ``--telemetry-out`` file for
+                                ``health`` events; ``--once`` for a
+                                single snapshot)
+    metrics <run.jsonl>         metrics of a saved run (``--prom`` for
+                                Prometheus text exposition)
+    diffstats <A> <B>           diff two runs' metrics/health series;
+                                flags regressions above ``--threshold``
+                                (exit 3 when any are found)
 
 Common options: ``--input TEXT`` (program input; ``\\xNN`` escapes),
 ``--base ADDR``, ``--max-steps N``.  ``explore`` adds ``--strategy``,
-``--merge``, ``--taint``, ``--uninit``, ``--region START:SIZE``, plus
-the observability flags ``--telemetry-out FILE.jsonl`` (structured event
-trace; see docs/OBSERVABILITY.md) and ``--profile`` (per-phase time
-breakdown).
+``--merge``, ``--taint``, ``--uninit``, ``--region START:SIZE``,
+``--max-seconds`` (wall-clock deadline, honest ``deadline`` stop
+reason), plus the observability flags ``--telemetry-out FILE.jsonl``
+(structured event trace; see docs/OBSERVABILITY.md), ``--profile``
+(per-phase time breakdown), ``--health`` (live sampler + watchdog, with
+``--health-every`` / ``--frontier-budget`` / ``--on-pressure``) and
+``--serve-metrics PORT`` (live Prometheus endpoint on localhost).
 
-The three telemetry readers (``stats``, ``tree``, ``speccov``) share
-one loader: a missing, empty or unparseable run file is a one-line
-error on stderr and exit code 1 (never a traceback); a truncated
-trailing line — the usual artifact of a killed run — is skipped with a
-warning and the remaining events are used.
+The telemetry readers (``stats``, ``tree``, ``speccov``, ``top``,
+``metrics``, ``diffstats``) share one loader: a missing, empty or
+unparseable run file is a one-line error on stderr and exit code 1
+(never a traceback); a truncated trailing line — the usual artifact of
+a killed run — is skipped with a warning and the remaining events are
+used.
 """
 
 from __future__ import annotations
@@ -40,8 +53,9 @@ from .core import (Engine, EngineConfig, measure, solver_cache_summary,
                    trace_run)
 from .isa import assemble, build, format_instruction, run_image
 from .isa.cfg import recover_cfg
-from .obs import (ExecutionTree, JsonlSink, Obs, SpecCoverage,
-                  TelemetryError, load_run)
+from .obs import (ExecutionTree, HealthConfig, JsonlSink, MetricsServer,
+                  Obs, SpecCoverage, TelemetryError, compare_runs,
+                  health_summary_line, load_run, render_prom_snapshot)
 
 __all__ = ["main"]
 
@@ -160,6 +174,18 @@ def cmd_explore(args) -> int:
     if telemetry_out:
         sink = JsonlSink(telemetry_out)
         obs.add_sink(sink)
+    # Health monitor: live sampler + watchdog (--health); tightening
+    # flags imply it.
+    want_health = (args.health or args.frontier_budget is not None
+                   or args.on_pressure != "none")
+    health = None
+    if want_health:
+        actions = None
+        if args.on_pressure != "none":
+            actions = {"frontier-pressure": args.on_pressure}
+        health = HealthConfig(sample_every_steps=args.health_every,
+                              frontier_budget=args.frontier_budget,
+                              actions=actions)
     config = EngineConfig(
         max_steps_per_path=args.max_steps,
         check_uninit=args.uninit,
@@ -167,6 +193,8 @@ def cmd_explore(args) -> int:
         merge_states=args.merge,
         collect_coverage=True,
         use_solver_cache=not getattr(args, "no_solver_cache", False),
+        max_wall_seconds=args.max_seconds,
+        health=health,
         obs=obs,
     )
     engine = Engine(model, config=config, strategy=args.strategy,
@@ -176,11 +204,22 @@ def cmd_explore(args) -> int:
         start_text, _, size_text = region.partition(":")
         engine.add_region(int(start_text, 0), int(size_text, 0),
                           track_uninit=args.uninit)
-    result = engine.explore()
+    server = None
+    if args.serve_metrics is not None:
+        server = MetricsServer(obs.metrics, port=args.serve_metrics)
+        print("serving live metrics at %s" % server.url)
+    try:
+        result = engine.explore()
+    finally:
+        if server is not None:
+            server.close()
     print(result.summary())
     cache_line = result.solver_cache_line()
     if cache_line is not None:
         print(cache_line)
+    health_line = result.health_line()
+    if health_line is not None:
+        print(health_line)
     for defect in result.defects:
         print("defect: %-24s pc=%#x instr=%-8s input=%r"
               % (defect.kind, defect.pc, defect.instruction,
@@ -190,6 +229,8 @@ def cmd_explore(args) -> int:
     # is required.
     report = measure(model, image, result.visited_pcs, spec_coverage=True)
     print(report.summary())
+    if want_health and engine.health is not None:
+        print(engine.health.report())
     if want_profile:
         print(obs.profiler.report())
     if sink is not None:
@@ -278,6 +319,9 @@ def cmd_stats(args) -> int:
         cache_line = solver_cache_summary(telemetry.get("solver"))
         if cache_line is not None:
             print("\n" + cache_line)
+        health_line = health_summary_line(telemetry.get("health"))
+        if health_line is not None:
+            print(health_line)
     return 0
 
 
@@ -353,6 +397,187 @@ def cmd_speccov(args) -> int:
     return 0
 
 
+def _format_health_frame(sample, path: str) -> str:
+    """Render one ``health`` event sample as a ``repro top`` frame."""
+    solver = sample.get("solver") or {}
+    pool = sample.get("pool") or {}
+    lines = [
+        "repro top — %s" % path,
+        "sample #%-5s t=%.1fs  steps=%s  steps/s=%.0f"
+        % (sample.get("seq", "?"), sample.get("t", 0.0),
+           sample.get("steps", 0), sample.get("steps_per_sec", 0.0)),
+        "frontier=%-6s coverage=%-6s paths=%-6s defects=%s"
+        % (sample.get("frontier", 0), sample.get("coverage", 0),
+           sample.get("paths", 0), sample.get("defects", 0)),
+        "solver: share=%.2f hit_ratio=%.2f checks=%d   "
+        "pool: interned=%d (%+d)"
+        % (solver.get("share", 0.0), solver.get("hit_ratio", 0.0),
+           solver.get("checks", 0), pool.get("interned", 0),
+           pool.get("grown", 0)),
+    ]
+    top_states = sample.get("top_states") or ()
+    if top_states:
+        lines.append("heaviest states:")
+        lines.append("  %-7s %-10s %10s %6s %8s"
+                     % ("state", "pc", "path_terms", "pages", "steps"))
+        for foot in top_states:
+            lines.append("  #%-6s %-10s %10s %6s %8s"
+                         % (foot.get("state"), "%#x" % foot.get("pc", 0),
+                            foot.get("path_terms"), foot.get("pages"),
+                            foot.get("steps")))
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    """Live (or ``--once``) TTY view of a run's ``health`` events."""
+    import json
+    import time
+
+    if args.once:
+        run = _open_run(args.run)
+        if run is None:
+            return 1
+        health_events = run.events_of("health")
+        if not health_events:
+            sys.stderr.write(
+                "error: %s carries no health events (run explore with "
+                "--health --telemetry-out?)\n" % args.run)
+            return 1
+        sample = health_events[-1].data.get("sample") or {}
+        print(_format_health_frame(sample, args.run))
+        for event in run.events_of("watchdog"):
+            print("watchdog: [%s] %s action=%s"
+                  % (event.data.get("diagnosis"),
+                     event.data.get("detail"),
+                     event.data.get("action")))
+        return 0
+
+    # Follow mode: tail the JSONL file until the run_summary meta record
+    # lands (the writer flushes after every health sample, so a live
+    # exploration shows up here with at most one sample of latency).
+    try:
+        handle = open(args.run)
+    except OSError as exc:
+        sys.stderr.write("error: cannot open %s: %s\n"
+                         % (args.run, exc.strerror or exc))
+        return 1
+    redraw = sys.stdout.isatty()
+    buffer = ""
+    frames = 0
+    deadline = (time.monotonic() + args.max_wait
+                if args.max_wait is not None else None)
+    try:
+        with handle:
+            while True:
+                chunk = handle.read()
+                if not chunk:
+                    if deadline is not None and time.monotonic() > deadline:
+                        break
+                    time.sleep(args.interval)
+                    continue
+                buffer += chunk
+                while "\n" in buffer:
+                    line, buffer = buffer.split("\n", 1)
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if not isinstance(record, dict):
+                        continue
+                    kind = record.get("kind")
+                    if kind == "meta":
+                        if record.get("record") != "run_summary":
+                            continue
+                        print("run finished: paths=%s defects=%s stop=%s"
+                              % (record.get("paths"),
+                                 record.get("defects"),
+                                 record.get("stop_reason")))
+                        return 0
+                    if kind == "health":
+                        sample = (record.get("data") or {}).get(
+                            "sample") or {}
+                        if redraw:
+                            sys.stdout.write("\x1b[2J\x1b[H")
+                        print(_format_health_frame(sample, args.run))
+                        sys.stdout.flush()
+                        frames += 1
+                    elif kind == "watchdog":
+                        data = record.get("data") or {}
+                        print("watchdog: [%s] %s action=%s"
+                              % (data.get("diagnosis"),
+                                 data.get("detail"), data.get("action")))
+    except KeyboardInterrupt:
+        pass
+    if frames == 0:
+        sys.stderr.write(
+            "error: %s carries no health events (run explore with "
+            "--health --telemetry-out?)\n" % args.run)
+        return 1
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Metrics of a saved run; ``--prom`` for Prometheus text format."""
+    run = _open_run(args.run)
+    if run is None:
+        return 1
+    summary = run.run_summary()
+    telemetry = (summary or {}).get("telemetry") or {}
+    metrics = telemetry.get("metrics") or {}
+    sections = [metrics.get(key) or {} for key in
+                ("counters", "gauges", "histograms")]
+    if not any(sections):
+        sys.stderr.write(
+            "error: %s carries no metrics section (was the run recorded "
+            "with --telemetry-out?)\n" % args.run)
+        return 1
+    if args.prom:
+        sys.stdout.write(render_prom_snapshot(metrics,
+                                              namespace=args.namespace))
+        return 0
+    counters, gauges, histograms = sections
+    if counters:
+        print("counters:")
+        for name in sorted(counters):
+            print("  %-28s %12d" % (name, counters[name]))
+    if gauges:
+        print("gauges:")
+        for name in sorted(gauges):
+            print("  %-28s %12g" % (name, gauges[name]))
+    if histograms:
+        print("histograms:")
+        print("  %-20s %8s %10s %10s %10s %10s"
+              % ("name", "count", "mean", "p50", "p90", "p99"))
+        for name in sorted(histograms):
+            stats = histograms[name] or {}
+            print("  %-20s %8d %10.4g %10.4g %10.4g %10.4g"
+                  % (name, stats.get("count", 0), stats.get("mean", 0.0),
+                     stats.get("p50", 0.0), stats.get("p90", 0.0),
+                     stats.get("p99", 0.0)))
+    return 0
+
+
+def cmd_diffstats(args) -> int:
+    """Diff two runs' metrics; exit 3 when regressions are flagged."""
+    run_a = _open_run(args.a)
+    if run_a is None:
+        return 1
+    run_b = _open_run(args.b)
+    if run_b is None:
+        return 1
+    comparison = compare_runs(run_a, run_b, threshold=args.threshold)
+    if not comparison.rows:
+        sys.stderr.write("error: no comparable metrics between %s and %s "
+                         "(were both recorded with --telemetry-out?)\n"
+                         % (args.a, args.b))
+        return 1
+    print(comparison.report())
+    return 3 if comparison.regressions else 0
+
+
 def cmd_cfg(args) -> int:
     model, image = _load(args)
     cfg = recover_cfg(model, image)
@@ -410,10 +635,74 @@ def main(argv=None) -> int:
     explore.add_argument("--profile", action="store_true",
                          help="print a per-phase time breakdown "
                               "(decode/eval/solver/memory/strategy)")
+    explore.add_argument("--max-seconds", type=float, default=None,
+                         metavar="T",
+                         help="wall-clock deadline; stops cleanly with "
+                              "stop reason 'deadline'")
+    explore.add_argument("--health", action="store_true",
+                         help="live health monitor: periodic sampler + "
+                              "stall/pressure watchdog (report at the "
+                              "end; with --telemetry-out, 'health' "
+                              "events for 'repro top')")
+    explore.add_argument("--health-every", type=int, default=256,
+                         metavar="N",
+                         help="sample every N engine steps "
+                              "(default 256)")
+    explore.add_argument("--frontier-budget", type=int, default=None,
+                         metavar="N",
+                         help="watchdog: diagnose frontier-pressure "
+                              "when pending states exceed N "
+                              "(implies --health)")
+    explore.add_argument("--on-pressure", default="none",
+                         choices=["none", "merge", "switch", "stop"],
+                         help="action when frontier-pressure fires: "
+                              "observe only (default), force a merge "
+                              "pass, switch strategy, or stop with "
+                              "stop reason 'pressure'")
+    explore.add_argument("--serve-metrics", type=int, default=None,
+                         metavar="PORT",
+                         help="serve live Prometheus metrics on "
+                              "127.0.0.1:PORT while exploring "
+                              "(0 = pick a free port)")
 
     stats = commands.add_parser(
         "stats", help="pretty-print a saved --telemetry-out run")
     stats.add_argument("run", help="telemetry JSONL file")
+
+    top = commands.add_parser(
+        "top", help="live TTY view of a running exploration "
+                    "(tails --telemetry-out health events)")
+    top.add_argument("run", help="telemetry JSONL file being written")
+    top.add_argument("--once", action="store_true",
+                     help="print the latest health snapshot and exit")
+    top.add_argument("--interval", type=float, default=0.5,
+                     metavar="S",
+                     help="poll interval in seconds (default 0.5)")
+    top.add_argument("--max-wait", type=float, default=None,
+                     metavar="S",
+                     help="give up after S seconds without new data "
+                          "(default: wait forever)")
+
+    metrics = commands.add_parser(
+        "metrics", help="metrics of a saved run (--prom for Prometheus "
+                        "text exposition)")
+    metrics.add_argument("run", help="telemetry JSONL file")
+    metrics.add_argument("--prom", action="store_true",
+                         help="Prometheus text format (for pushgateway "
+                              "or the textfile collector)")
+    metrics.add_argument("--namespace", default="repro",
+                         help="metric name prefix for --prom "
+                              "(default 'repro')")
+
+    diffstats = commands.add_parser(
+        "diffstats", help="diff two runs' metrics; flag regressions "
+                          "(exit 3 when any are found)")
+    diffstats.add_argument("a", help="baseline telemetry JSONL file")
+    diffstats.add_argument("b", help="candidate telemetry JSONL file")
+    diffstats.add_argument("--threshold", type=float, default=0.20,
+                           metavar="R",
+                           help="relative change flagged as regression "
+                                "(default 0.20 = 20%%)")
 
     tree = commands.add_parser(
         "tree", help="reconstruct the execution tree of a saved run")
@@ -445,6 +734,8 @@ def main(argv=None) -> int:
         "isas": cmd_isas, "asm": cmd_asm, "dis": cmd_dis, "run": cmd_run,
         "trace": cmd_trace, "explore": cmd_explore, "cfg": cmd_cfg,
         "stats": cmd_stats, "tree": cmd_tree, "speccov": cmd_speccov,
+        "top": cmd_top, "metrics": cmd_metrics,
+        "diffstats": cmd_diffstats,
     }[args.command]
     return handler(args)
 

@@ -57,6 +57,7 @@ class EngineConfig:
                  max_paths: Optional[int] = None,
                  max_defects: Optional[int] = None,
                  max_instructions: Optional[int] = None,
+                 max_wall_seconds: Optional[float] = None,
                  max_fork_targets: int = 4,
                  max_visits_per_pc: Optional[int] = None,
                  symbolic_read_window: int = 32,
@@ -73,12 +74,18 @@ class EngineConfig:
                  collect_coverage: bool = False,
                  cow_memory: bool = True,
                  use_solver_cache: bool = True,
-                 obs: Optional[Obs] = None):
+                 obs: Optional[Obs] = None,
+                 health: Optional[object] = None):
         self.max_steps_per_path = max_steps_per_path
         self.max_states = max_states
         self.max_paths = max_paths
         self.max_defects = max_defects
         self.max_instructions = max_instructions
+        # Wall-clock deadline for the whole exploration (CLI
+        # --max-seconds): checked in _limit_hit between steps, stops
+        # with the honest 'deadline' stop reason so unattended/CI runs
+        # cannot hang.  None = no deadline.
+        self.max_wall_seconds = max_wall_seconds
         self.max_fork_targets = max_fork_targets
         # Loop bound: a single path revisiting one pc more than this many
         # times is pruned (recorded as a 'loop-limit' path). None = off.
@@ -118,6 +125,12 @@ class EngineConfig:
         # overhead.  Pass Obs.disabled() for a zero-telemetry baseline,
         # or an Obs with sinks/profiling for full tracing.
         self.obs = obs
+        # Live health monitor (repro.obs.health).  None = off.  Pass a
+        # HealthConfig to attach the periodic sampler + stall/pressure
+        # watchdog to the exploration loop.  Sampling is read-only;
+        # degradation actions fire only when HealthConfig.actions
+        # explicitly opts in.
+        self.health = health
 
 
 class _Outcome:
@@ -181,6 +194,14 @@ class Engine:
         # sinks must be attached before the engine is constructed).
         if self.obs.profiler.enabled or self.obs.tracer.enabled:
             self.strategy = ObservedStrategy(self.strategy, self.obs)
+        # Live health monitor (sampler + watchdog; repro.obs.health).
+        self.health = None
+        if self.config.health is not None:
+            from ..obs.health import HealthMonitor
+            self.health = HealthMonitor(self.config.health, self.obs)
+        self._strategy_name = strategy
+        self._strategy_seed = seed
+        self._explore_start = 0.0
         self.memory_map = MemoryMap()
         self._base_memory = SymMemory(self.memory_map,
                                       cow=self.config.cow_memory)
@@ -256,12 +277,21 @@ class Engine:
         solver_before = self.solver.stats.as_dict()
         counters_before = self.obs.metrics.counters_snapshot()
         start_time = time.perf_counter()
+        self._explore_start = start_time
+        monitor = self.health
+        if monitor is not None:
+            monitor.begin(self, result)
         self.strategy.push(state if state is not None else
                            self.initial_state())
         try:
             while self.strategy:
                 if self._limit_hit(result):
                     break
+                if monitor is not None:
+                    diagnoses = monitor.tick()
+                    if diagnoses and not self._apply_health_actions(
+                            diagnoses, result):
+                        break
                 current = self.strategy.pop()
                 for successor in self._step(current, result):
                     if len(self.strategy) >= self.config.max_states:
@@ -277,6 +307,8 @@ class Engine:
             telemetry = self.obs.snapshot(counters_since=counters_before)
             telemetry["solver"] = dict(result.solver_stats)
             telemetry["wall_time"] = result.wall_time
+            if monitor is not None:
+                telemetry["health"] = monitor.finish()
             result.telemetry = telemetry
             self._result = None
         return result
@@ -294,7 +326,95 @@ class Engine:
                 and result.instructions_executed >= cfg.max_instructions):
             result.stop_reason = "max-instructions"
             return True
+        if (cfg.max_wall_seconds is not None
+                and time.perf_counter() - self._explore_start
+                >= cfg.max_wall_seconds):
+            result.stop_reason = "deadline"
+            return True
         return False
+
+    # -- health-monitor degradation actions (opt-in; repro.obs.health) -----------
+
+    def _apply_health_actions(self, diagnoses,
+                              result: R.ExplorationResult) -> bool:
+        """Act on watchdog diagnoses; False stops the exploration.
+
+        Only diagnoses whose configured action is not ``"none"`` do
+        anything — the watchdog is observe-only by default, so a
+        monitored run explores exactly the same tree as an unmonitored
+        one unless the operator explicitly opted into degradation.
+        """
+        for diagnosis in diagnoses:
+            action = diagnosis.get("action", "none")
+            if action == "stop":
+                result.stop_reason = "pressure"
+                return False
+            if action == "merge":
+                self._force_merge_pass(result)
+            elif action == "switch":
+                self._switch_strategy(
+                    self.config.health.switch_strategy)
+        return True
+
+    def _force_merge_pass(self, result: R.ExplorationResult) -> int:
+        """Drain the frontier and merge structurally compatible states
+        parked at the same pc (graceful degradation under frontier
+        pressure).  Returns the number of merges performed."""
+        from .merge import try_merge
+        drained: List[SymState] = []
+        while self.strategy:
+            drained.append(self.strategy.pop())
+        survivors: List[SymState] = []
+        buckets: Dict[int, List[int]] = {}
+        merges = 0
+        tracer = self._tracer
+        for state in drained:
+            merged_index = None
+            for index in buckets.get(state.pc, ()):
+                merged = try_merge(survivors[index], state)
+                if merged is None:
+                    continue
+                if tracer.enabled:
+                    tracer.emit("merge", state_id=merged.state_id,
+                                pc=merged.pc,
+                                merged_from=[survivors[index].state_id,
+                                             state.state_id],
+                                duplicate=merged is survivors[index],
+                                forced=True)
+                survivors[index] = merged
+                merged_index = index
+                merges += 1
+                break
+            if merged_index is None:
+                buckets.setdefault(state.pc, []).append(len(survivors))
+                survivors.append(state)
+        # Pops drained newest-first; push back reversed so a stack
+        # frontier keeps roughly its old scheduling order.
+        for state in reversed(survivors):
+            self.strategy.push(state)
+        if merges:
+            self.obs.metrics.counter("engine.merges").inc(merges)
+        return merges
+
+    def _switch_strategy(self, name: str) -> None:
+        """Swap the frontier for a fresh strategy (graceful degradation:
+        e.g. leave a depth-stuck DFS for BFS).  Pending states carry
+        over; wrappers (merging, observability) are re-applied."""
+        drained: List[SymState] = []
+        while self.strategy:
+            drained.append(self.strategy.pop())
+        fresh = make_strategy(name, self._strategy_seed)
+        self._coverage_feedback = (fresh if isinstance(
+            fresh, CoverageStrategy) else None)
+        if self.config.merge_states:
+            from .merge import MergingFrontier
+            fresh = MergingFrontier(fresh, obs=self.obs)
+        if self.obs.profiler.enabled or self.obs.tracer.enabled:
+            fresh = ObservedStrategy(fresh, self.obs)
+        self.strategy = fresh
+        for state in drained:
+            self.strategy.push(state)
+        self._strategy_name = name
 
     # -- single step -----------------------------------------------------------------
 

@@ -154,5 +154,10 @@ class MergingFrontier(Strategy):
                 del self._by_pc[state.pc]
             return state
 
+    def states(self):
+        """Live pending states (merged-away tombstones are skipped)."""
+        return (state for state in self.inner.states()
+                if state.state_id not in self._dead)
+
     def __len__(self) -> int:
         return self._live

@@ -124,12 +124,23 @@ class ExplorationResult:
         cache never fired (e.g. ``--no-solver-cache``)."""
         return solver_cache_summary(self.solver_stats)
 
+    def health_line(self) -> Optional[str]:
+        """One-line digest of the live health monitor (samples taken,
+        last steps/sec, peak frontier, watchdog diagnoses), or None
+        when the run was not monitored."""
+        from ..obs.health import health_summary_line
+        return health_summary_line(self.telemetry.get("health"))
+
     def details(self) -> str:
-        """The summary line, the solver-cache line, one line per defect."""
+        """The summary line, the solver-cache and health lines (when
+        present), one line per defect."""
         lines = [self.summary()]
         cache_line = self.solver_cache_line()
         if cache_line is not None:
             lines.append("  " + cache_line)
+        health_line = self.health_line()
+        if health_line is not None:
+            lines.append("  " + health_line)
         for defect in self.defects:
             lines.append("  %s at %#x: %s (input %r)"
                          % (defect.kind, defect.pc, defect.message,

@@ -137,6 +137,23 @@ class SymState:
         return bytes(model.get("in_%d" % i, 0) & 0xff
                      for i in range(len(self.input_vars)))
 
+    # -- footprint (health monitor) -----------------------------------------------
+
+    def footprint(self) -> Dict[str, int]:
+        """Cheap per-state cost estimate for the live health monitor.
+
+        ``path_terms`` is the number of path-condition conjuncts (a
+        proxy for solver query size), ``pages`` the number of memory
+        pages this state references (COW-shared pages count once per
+        state — the estimate bounds what a solver query or a merge pass
+        may have to look at, not unique ownership).  O(1): no term
+        traversal, no page scan.
+        """
+        return {"state": self.state_id, "pc": self.pc, "steps": self.steps,
+                "path_terms": len(self.path_condition),
+                "pages": self.memory.pages_touched,
+                "depth": len(self.input_vars)}
+
     def __repr__(self):
         return "<SymState #%d pc=%#x steps=%d |pc|=%d>" % (
             self.state_id, self.pc, self.steps, len(self.path_condition))

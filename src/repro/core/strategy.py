@@ -34,6 +34,14 @@ class Strategy:
     def __len__(self) -> int:
         raise NotImplementedError
 
+    def states(self):
+        """Iterate the pending states (read-only, arbitrary order).
+
+        Used by the health monitor's top-k heaviest-states view; must
+        not mutate the frontier.  Default: nothing to show.
+        """
+        return iter(())
+
     def __bool__(self) -> bool:
         return len(self) > 0
 
@@ -52,6 +60,9 @@ class DfsStrategy(Strategy):
     def pop(self) -> SymState:
         return self._stack.pop()
 
+    def states(self):
+        return iter(self._stack)
+
     def __len__(self):
         return len(self._stack)
 
@@ -69,6 +80,9 @@ class BfsStrategy(Strategy):
 
     def pop(self) -> SymState:
         return self._queue.popleft()
+
+    def states(self):
+        return iter(self._queue)
 
     def __len__(self):
         return len(self._queue)
@@ -91,6 +105,9 @@ class RandomStrategy(Strategy):
         self._items[index], self._items[-1] = (self._items[-1],
                                                self._items[index])
         return self._items.pop()
+
+    def states(self):
+        return iter(self._items)
 
     def __len__(self):
         return len(self._items)
@@ -120,6 +137,9 @@ class CoverageStrategy(Strategy):
 
     def pop(self) -> SymState:
         return heapq.heappop(self._heap)[2]
+
+    def states(self):
+        return (entry[2] for entry in self._heap)
 
     def __len__(self):
         return len(self._heap)
@@ -163,6 +183,9 @@ class ObservedStrategy(Strategy):
             state = self.inner.pop()
         self._pops.inc()
         return state
+
+    def states(self):
+        return self.inner.states()
 
     def __len__(self) -> int:
         return len(self.inner)

@@ -21,11 +21,18 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from .compare import (  # noqa: F401
+    DiffRow,
+    RunComparison,
+    compare_runs,
+    extract_metrics,
+)
 from .events import (  # noqa: F401
     DECODE_CACHE,
     DEFECT,
     EVENT_KINDS,
     FORK,
+    HEALTH,
     MERGE,
     PATH_END,
     PRUNE,
@@ -33,8 +40,20 @@ from .events import (  # noqa: F401
     SOLVER_CACHE,
     SOLVER_CHECK,
     STEP,
+    WATCHDOG,
     Event,
     EventTracer,
+)
+from .health import (  # noqa: F401
+    ACTIONS,
+    DIAGNOSES,
+    FRONTIER_PRESSURE,
+    POOL_PRESSURE,
+    SOLVER_DOMINATED,
+    STALL,
+    HealthConfig,
+    HealthMonitor,
+    health_summary_line,
 )
 from .metrics import (  # noqa: F401
     Counter,
@@ -43,6 +62,7 @@ from .metrics import (  # noqa: F401
     MetricsRegistry,
 )
 from .profile import PhaseProfiler, PhaseStats  # noqa: F401
+from .prom import MetricsServer, render_prom, render_prom_snapshot  # noqa: F401
 from .sinks import (  # noqa: F401
     ConsoleSink,
     JsonlSink,
@@ -68,8 +88,14 @@ __all__ = ["Obs", "MetricsRegistry", "Counter", "Gauge", "Histogram",
            "TelemetryError",
            "ExecutionTree", "FlightRecorder", "TreeEdge", "TreeNode",
            "SpecCoverage", "IsaSpecCoverage", "rule_coverage_from_visited",
+           "HealthConfig", "HealthMonitor", "health_summary_line",
+           "DIAGNOSES", "ACTIONS", "STALL", "SOLVER_DOMINATED",
+           "FRONTIER_PRESSURE", "POOL_PRESSURE",
+           "MetricsServer", "render_prom", "render_prom_snapshot",
+           "RunComparison", "DiffRow", "compare_runs", "extract_metrics",
            "STEP", "FORK", "MERGE", "SOLVER_CHECK", "SOLVER_CACHE",
-           "PATH_END", "DEFECT", "DECODE_CACHE", "PRUNE"]
+           "PATH_END", "DEFECT", "DECODE_CACHE", "PRUNE", "HEALTH",
+           "WATCHDOG"]
 
 
 class Obs:

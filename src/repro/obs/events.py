@@ -19,17 +19,25 @@ Event kinds
 ``defect``        a defect was filed (``kind``, ``message``)
 ``decode_cache``  an instruction fetch (``hit`` payload)
 ``prune``         a live state was dropped before finishing (``reason``)
+``health``        one periodic health-monitor sample (``sample`` payload:
+                  frontier size, steps/sec, solver + cache rates, term
+                  pool growth, top-k heaviest states; see
+                  :mod:`repro.obs.health`)
+``watchdog``      a stall/pressure diagnosis (``diagnosis``, ``detail``,
+                  optional ``action`` when degradation is enabled)
 
 Schema versioning
 -----------------
 :data:`SCHEMA_VERSION` names the wire format of a JSONL run file.
-Version 2 (this release) adds the ``prune`` kind, per-edge branch
-condition summaries on ``fork`` events (``conds``, aligned with
-``children``) and the ``duplicate`` flag on ``merge`` events; readers of
-version-1 files keep working (the additions are optional payload keys).
-The ``solver_cache`` kind is an additive extension within version 2:
-readers that dispatch on known kinds ignore it (sinks and the flight
-recorder are tolerant of unknown kinds by design).
+Version 2 added the ``prune`` kind, per-edge branch condition summaries
+on ``fork`` events (``conds``, aligned with ``children``) and the
+``duplicate`` flag on ``merge`` events.  Version 3 (this release) adds
+the ``health`` and ``watchdog`` kinds emitted by the live health
+monitor.  All bumps are additive: readers of version-1/2 files keep
+working, and readers that dispatch on known kinds ignore the new ones
+(sinks, the flight recorder and ``repro stats`` are tolerant of unknown
+kinds by design; :func:`~repro.obs.sinks.load_run` warns — but still
+loads — when a file carries a *newer* schema than this reader).
 """
 
 from __future__ import annotations
@@ -39,11 +47,12 @@ from typing import Dict, List, Optional
 
 __all__ = ["Event", "EventTracer", "EVENT_KINDS", "SCHEMA_VERSION",
            "STEP", "FORK", "MERGE", "SOLVER_CHECK", "SOLVER_CACHE",
-           "PATH_END", "DEFECT", "DECODE_CACHE", "PRUNE"]
+           "PATH_END", "DEFECT", "DECODE_CACHE", "PRUNE", "HEALTH",
+           "WATCHDOG"]
 
 #: Wire-format version stamped into JSONL run files (a ``meta`` record
 #: written by :class:`~repro.obs.sinks.JsonlSink`).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 STEP = "step"
 FORK = "fork"
@@ -54,9 +63,11 @@ PATH_END = "path_end"
 DEFECT = "defect"
 DECODE_CACHE = "decode_cache"
 PRUNE = "prune"
+HEALTH = "health"
+WATCHDOG = "watchdog"
 
 EVENT_KINDS = (STEP, FORK, MERGE, SOLVER_CHECK, SOLVER_CACHE, PATH_END,
-               DEFECT, DECODE_CACHE, PRUNE)
+               DEFECT, DECODE_CACHE, PRUNE, HEALTH, WATCHDOG)
 
 
 class Event:
@@ -142,6 +153,15 @@ class EventTracer:
         self.emitted += 1
         for sink in self.sinks:
             sink.emit(event)
+
+    def flush(self) -> None:
+        """Flush sinks that buffer (best-effort; sinks without a
+        ``flush`` are skipped).  The health monitor calls this after
+        each sample so live tails (``repro top``) see fresh data."""
+        for sink in self.sinks:
+            flush = getattr(sink, "flush", None)
+            if flush is not None:
+                flush()
 
     def close(self) -> None:
         for sink in self.sinks:

@@ -118,6 +118,17 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram, stride-aware.
+
+        Each retained sample stands for ``_stride`` observations, so
+        naively extending ``_samples`` would give a thinned histogram's
+        samples the same weight as an unthinned one's and skew
+        percentiles toward the less-thinned side.  Instead both sample
+        sets are re-thinned to the *common* (coarsest) stride before
+        concatenation, restoring equal per-sample weight.  Strides are
+        powers of two by construction (they only ever double), so the
+        coarser stride is always an exact multiple of the finer one.
+        """
         self.count += other.count
         self.total += other.total
         if other.min is not None and (self.min is None
@@ -126,7 +137,12 @@ class Histogram:
         if other.max is not None and (self.max is None
                                       or other.max > self.max):
             self.max = other.max
-        self._samples.extend(other._samples)
+        target = max(self._stride, other._stride)
+        mine = self._samples[::target // self._stride]
+        theirs = other._samples[::target // other._stride]
+        self._samples = mine + theirs
+        self._stride = target
+        self._skip = 0
         while len(self._samples) > self._max_samples:
             self._samples = self._samples[::2]
             self._stride *= 2

@@ -1,0 +1,146 @@
+"""Prometheus-style text exposition of the metrics registry.
+
+Two consumers:
+
+* ``repro metrics RUN.jsonl --prom`` renders the metrics section of a
+  saved run summary (the ``--telemetry-out`` sidecar) in the Prometheus
+  text format, so a recorded run can be pushed into any
+  Prometheus-compatible pipeline (pushgateway, textfile collector).
+* ``repro explore ... --serve-metrics PORT`` serves the engine's *live*
+  registry at ``http://127.0.0.1:PORT/metrics`` from a stdlib
+  ``http.server`` daemon thread while exploration runs — scrape it to
+  watch a long run from Grafana without touching the engine.
+
+Only the standard library is used; there is no prometheus_client
+dependency.  The exposition follows the text format conventions:
+
+* metric names are sanitized (dots and dashes become underscores) and
+  prefixed with a namespace (default ``repro``),
+* counters get a ``_total`` suffix and ``# TYPE ... counter``,
+* gauges are emitted verbatim with ``# TYPE ... gauge``,
+* histograms become Prometheus *summaries*: ``_count``, ``_sum`` and
+  ``{quantile="0.5|0.9|0.99"}`` sample lines.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Dict, List, Optional
+
+__all__ = ["render_prom", "render_prom_snapshot", "MetricsServer"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    """Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*."""
+    cleaned = _NAME_RE.sub("_", name)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] in "_:"):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return "0"
+    return repr(number)
+
+
+def render_prom_snapshot(snapshot: Dict[str, object],
+                         namespace: str = "repro") -> str:
+    """Render a ``MetricsRegistry.snapshot()``-shaped dict (also the
+    ``metrics`` section of a saved run summary) as Prometheus text."""
+    lines: List[str] = []
+    counters = snapshot.get("counters") or {}
+    for name in sorted(counters):
+        metric = "%s_%s_total" % (namespace, _sanitize(name))
+        lines.append("# TYPE %s counter" % metric)
+        lines.append("%s %s" % (metric, _fmt(counters[name])))
+    gauges = snapshot.get("gauges") or {}
+    for name in sorted(gauges):
+        metric = "%s_%s" % (namespace, _sanitize(name))
+        lines.append("# TYPE %s gauge" % metric)
+        lines.append("%s %s" % (metric, _fmt(gauges[name])))
+    histograms = snapshot.get("histograms") or {}
+    for name in sorted(histograms):
+        stats = histograms[name] or {}
+        metric = "%s_%s" % (namespace, _sanitize(name))
+        lines.append("# TYPE %s summary" % metric)
+        for quantile, key in (("0.5", "p50"), ("0.9", "p90"),
+                              ("0.99", "p99")):
+            lines.append('%s{quantile="%s"} %s'
+                         % (metric, quantile, _fmt(stats.get(key, 0.0))))
+        lines.append("%s_sum %s" % (metric, _fmt(stats.get("sum", 0.0))))
+        lines.append("%s_count %s" % (metric,
+                                      _fmt(stats.get("count", 0))))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_prom(registry, namespace: str = "repro") -> str:
+    """Render a live :class:`~repro.obs.metrics.MetricsRegistry`."""
+    return render_prom_snapshot(registry.snapshot(), namespace=namespace)
+
+
+class MetricsServer:
+    """Serves ``/metrics`` from a live registry on a daemon thread.
+
+    Stdlib-only (``http.server``); binds 127.0.0.1 by default.  Pass
+    ``port=0`` to let the OS pick (the bound port is then available as
+    :attr:`port` — handy for tests).  The thread is a daemon, so a
+    finishing process never hangs on it; call :meth:`close` for a
+    deterministic shutdown.
+    """
+
+    def __init__(self, registry, port: int = 0,
+                 host: str = "127.0.0.1", namespace: str = "repro"):
+        from http.server import BaseHTTPRequestHandler, HTTPServer
+
+        server_registry = registry
+        server_namespace = namespace
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self):                       # noqa: N802 (stdlib API)
+                if self.path.rstrip("/") not in ("", "/metrics",
+                                                 "/healthz"):
+                    self.send_error(404)
+                    return
+                if self.path.rstrip("/") == "/healthz":
+                    body = b"ok\n"
+                    content_type = "text/plain"
+                else:
+                    body = render_prom(
+                        server_registry,
+                        namespace=server_namespace).encode()
+                    content_type = "text/plain; version=0.0.4"
+                self.send_response(200)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *_args):
+                pass  # stay silent; this rides inside a CLI run
+
+        self._server = HTTPServer((host, port), _Handler)
+        self.host = host
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-server", daemon=True)
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return "http://%s:%d/metrics" % (self.host, self.port)
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)

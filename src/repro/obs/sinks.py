@@ -95,6 +95,12 @@ class JsonlSink:
         self._handle.write(json.dumps(tagged, separators=(",", ":")))
         self._handle.write("\n")
 
+    def flush(self) -> None:
+        """Push buffered lines to disk so live tails (``repro top``)
+        observe them mid-run.  Called by the health monitor after each
+        sample — cheap at sampling cadence, never on the hot path."""
+        self._handle.flush()
+
     def close(self) -> None:
         self._handle.flush()
         if self._owns_handle:
@@ -226,4 +232,9 @@ def load_run(path: str) -> RunFile:
             except (TypeError, ValueError):
                 pass
             break
+    if schema_version is not None and schema_version > SCHEMA_VERSION:
+        warnings.append(
+            "file schema v%d is newer than this reader (v%d); unknown "
+            "event kinds will be ignored" % (schema_version,
+                                             SCHEMA_VERSION))
     return RunFile(path, events, meta, warnings, schema_version)

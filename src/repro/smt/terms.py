@@ -236,7 +236,19 @@ class TermPool:
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "interned": len(self._interned)}
+                "interned": len(self._interned),
+                "vars": len(self._vars)}
+
+    def growth_since(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Stat deltas since an earlier :meth:`stats` snapshot.
+
+        ``misses`` growth counts terms *constructed* in the window
+        (every cache miss allocates one Term); ``interned`` growth is
+        net live pool growth.  The health monitor samples this to
+        surface term-pool blowup while a run is still in flight.
+        """
+        now = self.stats()
+        return {key: now[key] - before.get(key, 0) for key in now}
 
 
 _pool = TermPool()

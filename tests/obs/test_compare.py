@@ -1,0 +1,141 @@
+"""Run comparison (`repro diffstats`): metric extraction + regression
+flagging.
+
+The acceptance pin: an injected >= 20% steps/sec regression between two
+otherwise-identical runs MUST be flagged.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import compare_runs, extract_metrics, load_run
+from repro.obs.compare import DEFAULT_THRESHOLD
+
+
+def write_run(path, rates, wall_time=1.0, instructions=1000, paths=4,
+              defects=1, frontier=5):
+    """Synthesize a minimal but realistic telemetry sidecar."""
+    lines = [{"kind": "meta", "record": "schema", "version": 3}]
+    for seq, rate in enumerate(rates):
+        lines.append({
+            "v": 1, "kind": "health", "ts": 0.1 * seq, "isa": "rv32",
+            "state_id": -1, "pc": 0,
+            "data": {"sample": {"v": 1, "seq": seq, "t": 0.1 * seq,
+                                "steps_per_sec": rate,
+                                "frontier": frontier,
+                                "solver": {"share": 0.25}}}})
+    lines.append({
+        "kind": "meta", "record": "run_summary", "isa": "rv32",
+        "paths": paths, "defects": defects,
+        "instructions": instructions, "wall_time": wall_time,
+        "stop_reason": "exhausted",
+        "telemetry": {"solver": {"checks": 100, "solve_time": 0.2,
+                                 "cache_hit_sat": 40},
+                      "phases": {"solver": {"total_s": 0.2}}}})
+    with open(path, "w") as handle:
+        for record in lines:
+            handle.write(json.dumps(record) + "\n")
+    return str(path)
+
+
+@pytest.fixture
+def baseline(tmp_path):
+    return write_run(tmp_path / "a.jsonl", [1000.0, 1100.0, 1050.0])
+
+
+class TestExtract:
+    def test_health_series_metrics(self, baseline):
+        metrics = extract_metrics(load_run(baseline))
+        assert metrics["health.steps_per_sec.mean"].value == \
+            pytest.approx(1050.0)
+        assert metrics["health.steps_per_sec.final"].value == 1050.0
+        assert metrics["health.frontier.peak"].value == 5
+        assert metrics["health.solver_share.mean"].value == \
+            pytest.approx(0.25)
+
+    def test_summary_metrics(self, baseline):
+        metrics = extract_metrics(load_run(baseline))
+        assert metrics["run.wall_time_s"].value == 1.0
+        assert metrics["run.instructions_per_sec"].value == 1000.0
+        assert metrics["solver.cache_hit_ratio"].value == \
+            pytest.approx(0.4)
+        assert metrics["phase.solver.total_s"].value == \
+            pytest.approx(0.2)
+
+    def test_healthless_run_still_extracts_summary(self, tmp_path):
+        path = write_run(tmp_path / "nohealth.jsonl", rates=[])
+        metrics = extract_metrics(load_run(path))
+        assert "health.steps_per_sec.mean" not in metrics
+        assert "run.wall_time_s" in metrics
+
+
+class TestCompare:
+    def test_identical_runs_have_no_flags(self, baseline, tmp_path):
+        other = write_run(tmp_path / "b.jsonl",
+                          [1000.0, 1100.0, 1050.0])
+        comparison = compare_runs(load_run(baseline), load_run(other))
+        assert comparison.regressions == []
+        assert comparison.improvements == []
+
+    def test_injected_steps_per_sec_regression_is_flagged(
+            self, baseline, tmp_path):
+        # 30% slower than baseline: above the 20% default threshold.
+        other = write_run(tmp_path / "slow.jsonl",
+                          [700.0, 770.0, 735.0])
+        comparison = compare_runs(load_run(baseline), load_run(other),
+                                  threshold=DEFAULT_THRESHOLD)
+        flagged = {row.name for row in comparison.regressions}
+        assert "health.steps_per_sec.mean" in flagged
+        assert "health.steps_per_sec.final" in flagged
+
+    def test_direction_higher_means_increase_is_improvement(
+            self, baseline, tmp_path):
+        other = write_run(tmp_path / "fast.jsonl",
+                          [2000.0, 2200.0, 2100.0])
+        comparison = compare_runs(load_run(baseline), load_run(other))
+        improved = {row.name for row in comparison.improvements}
+        assert "health.steps_per_sec.mean" in improved
+        assert not any(row.name.startswith("health.steps_per_sec")
+                       for row in comparison.regressions)
+
+    def test_lower_is_better_for_wall_time(self, baseline, tmp_path):
+        other = write_run(tmp_path / "slower.jsonl",
+                          [1000.0, 1100.0, 1050.0], wall_time=2.0)
+        comparison = compare_runs(load_run(baseline), load_run(other))
+        flagged = {row.name for row in comparison.regressions}
+        assert "run.wall_time_s" in flagged
+
+    def test_info_metrics_are_changed_never_regression(
+            self, baseline, tmp_path):
+        other = write_run(tmp_path / "more.jsonl",
+                          [1000.0, 1100.0, 1050.0], defects=9)
+        comparison = compare_runs(load_run(baseline), load_run(other))
+        row = {r.name: r for r in comparison.rows}["run.defects"]
+        assert row.flag == "changed"
+        assert row.delta_ratio is None
+        assert "run.defects" not in {r.name for r in
+                                     comparison.regressions}
+
+    def test_threshold_is_respected(self, baseline, tmp_path):
+        # 30% regression passes a 50% threshold.
+        other = write_run(tmp_path / "meh.jsonl", [700.0, 770.0, 735.0])
+        comparison = compare_runs(load_run(baseline), load_run(other),
+                                  threshold=0.5)
+        assert not any(row.name.startswith("health.")
+                       for row in comparison.regressions)
+
+    def test_metric_only_in_one_run(self, baseline, tmp_path):
+        other = write_run(tmp_path / "nohealth.jsonl", rates=[])
+        comparison = compare_runs(load_run(baseline), load_run(other))
+        gone = {row.name for row in comparison.rows
+                if row.flag == "gone"}
+        assert "health.steps_per_sec.mean" in gone
+
+    def test_report_mentions_regressions(self, baseline, tmp_path):
+        other = write_run(tmp_path / "slow.jsonl",
+                          [700.0, 770.0, 735.0])
+        report = compare_runs(load_run(baseline),
+                              load_run(other)).report()
+        assert "REGRESSION" in report
+        assert "regressions:" in report

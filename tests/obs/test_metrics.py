@@ -82,6 +82,47 @@ class TestHistogram:
         assert a.min == 1.0
         assert a.max == 20.0
 
+    def test_merge_stride_bias_regression(self):
+        # A thinned histogram's retained samples each stand for
+        # `_stride` observations.  Naive concatenation (the old bug)
+        # weighed a heavily-thinned side the same as an unthinned one
+        # and dragged percentiles toward the unthinned side.
+        a = Histogram("h", max_samples=64)
+        for _ in range(6400):
+            a.observe(0.0)
+        b = Histogram("h", max_samples=64)
+        for _ in range(64):
+            b.observe(100.0)
+        a.merge(b)
+        assert a.count == 6464
+        assert a.total == 6400.0
+        # 99% of observations are 0.0: the re-weighted percentiles must
+        # say so.
+        assert a.percentile(50) == 0.0
+        assert a.percentile(90) == 0.0
+
+    def test_merge_stride_bias_symmetric(self):
+        # The unthinned side being `self` must re-thin itself too.
+        a = Histogram("h", max_samples=64)
+        for _ in range(64):
+            a.observe(100.0)
+        b = Histogram("h", max_samples=64)
+        for _ in range(6400):
+            b.observe(0.0)
+        a.merge(b)
+        assert a.count == 6464
+        assert a.percentile(50) == 0.0
+
+    def test_merge_respects_max_samples(self):
+        a = Histogram("h", max_samples=64)
+        b = Histogram("h", max_samples=64)
+        for value in range(60):
+            a.observe(float(value))
+            b.observe(float(value))
+        a.merge(b)
+        assert len(a._samples) <= 64
+        assert a.count == 120
+
     def test_snapshot_keys(self):
         hist = Histogram("h")
         hist.observe(2.0)

@@ -1,0 +1,101 @@
+"""Prometheus text exposition + the stdlib /metrics server."""
+
+import urllib.request
+
+from repro.obs import MetricsRegistry, MetricsServer, render_prom
+from repro.obs.prom import render_prom_snapshot
+
+
+def make_registry():
+    registry = MetricsRegistry()
+    registry.counter("engine.steps").inc(42)
+    registry.gauge("health.frontier").set(7)
+    hist = registry.histogram("solver.check_s")
+    for value in (0.1, 0.2, 0.3):
+        hist.observe(value)
+    return registry
+
+
+class TestRender:
+    def test_counter_gets_total_suffix_and_type(self):
+        text = render_prom(make_registry())
+        assert "# TYPE repro_engine_steps_total counter" in text
+        assert "repro_engine_steps_total 42" in text
+
+    def test_gauge(self):
+        text = render_prom(make_registry())
+        assert "# TYPE repro_health_frontier gauge" in text
+        assert "repro_health_frontier 7" in text
+
+    def test_histogram_becomes_summary(self):
+        text = render_prom(make_registry())
+        assert "# TYPE repro_solver_check_s summary" in text
+        assert 'repro_solver_check_s{quantile="0.5"}' in text
+        assert "repro_solver_check_s_count 3" in text
+
+    def test_names_are_sanitized(self):
+        snapshot = {"counters": {"a.b-c/d": 1}}
+        text = render_prom_snapshot(snapshot)
+        assert "repro_a_b_c_d_total 1" in text
+
+    def test_custom_namespace(self):
+        text = render_prom(make_registry(), namespace="adl")
+        assert "adl_engine_steps_total 42" in text
+        assert "repro_" not in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prom_snapshot({}) == ""
+        assert render_prom_snapshot({"counters": {}, "gauges": {},
+                                     "histograms": {}}) == ""
+
+    def test_run_summary_metrics_section_renders(self):
+        # The exact shape `repro metrics --prom` feeds it.
+        section = {"counters": {"engine.paths": 3},
+                   "gauges": {"health.frontier": 1},
+                   "histograms": {"solver.check_s": {
+                       "count": 2, "sum": 0.5, "min": 0.1, "max": 0.4,
+                       "mean": 0.25, "p50": 0.1, "p90": 0.4,
+                       "p99": 0.4}}}
+        text = render_prom_snapshot(section)
+        assert "repro_engine_paths_total 3" in text
+        assert "repro_solver_check_s_sum 0.5" in text
+
+
+class TestServer:
+    def test_serves_live_registry(self):
+        registry = make_registry()
+        server = MetricsServer(registry, port=0)
+        try:
+            body = urllib.request.urlopen(server.url,
+                                          timeout=5).read().decode()
+            assert "repro_engine_steps_total 42" in body
+            # Live: a later increment shows up on the next scrape.
+            registry.counter("engine.steps").inc(8)
+            body = urllib.request.urlopen(server.url,
+                                          timeout=5).read().decode()
+            assert "repro_engine_steps_total 50" in body
+        finally:
+            server.close()
+
+    def test_healthz(self):
+        server = MetricsServer(MetricsRegistry(), port=0)
+        try:
+            url = "http://%s:%d/healthz" % (server.host, server.port)
+            assert urllib.request.urlopen(
+                url, timeout=5).read() == b"ok\n"
+        finally:
+            server.close()
+
+    def test_unknown_path_is_404(self):
+        import urllib.error
+        server = MetricsServer(MetricsRegistry(), port=0)
+        try:
+            url = "http://%s:%d/nope" % (server.host, server.port)
+            try:
+                urllib.request.urlopen(url, timeout=5)
+                raised = False
+            except urllib.error.HTTPError as error:
+                raised = error.code == 404
+            assert raised
+        finally:
+            server.close()

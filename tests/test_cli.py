@@ -296,6 +296,211 @@ class TestTelemetryReaders:
         assert "speccov[rv32]" in out
 
 
+@pytest.fixture
+def health_run(tmp_path):
+    """An exploration persisted with the health monitor attached."""
+    source = tmp_path / "branchy.s"
+    source.write_text(BRANCHY)
+    run = tmp_path / "health.jsonl"
+    assert main(["explore", "rv32", str(source),
+                 "--telemetry-out", str(run),
+                 "--health", "--health-every", "4"]) == 0
+    return str(run)
+
+
+def _write_sidecar(path, rate, wall_time=1.0):
+    """Minimal synthetic telemetry sidecar (timing-noise-free, so the
+    diffstats exit-code assertions are deterministic)."""
+    import json
+    records = [{"kind": "meta", "record": "schema", "version": 3}]
+    for seq in range(3):
+        records.append({"kind": "health", "isa": "rv32", "state": -1,
+                        "pc": 0, "ts": 0.1 * seq,
+                        "data": {"sample": {"v": 1, "seq": seq,
+                                            "t": 0.1 * seq,
+                                            "steps_per_sec": rate,
+                                            "frontier": 4,
+                                            "solver": {"share": 0.2}}}})
+    records.append({"kind": "meta", "record": "run_summary",
+                    "paths": 2, "defects": 0, "instructions": 1000,
+                    "wall_time": wall_time, "stop_reason": "exhausted",
+                    "telemetry": {}})
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    return str(path)
+
+
+class TestHealthCLI:
+    """PR 4: --health / --max-seconds explore flags."""
+
+    def test_explore_health_report_contents(self, tmp_path, capsys):
+        source = tmp_path / "branchy.s"
+        source.write_text(BRANCHY)
+        assert main(["explore", "rv32", str(source),
+                     "--health", "--health-every", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "== health monitor ==" in out
+        assert "health: samples=" in out
+        assert "watchdog: healthy (0 diagnoses)" in out
+
+    def test_explore_max_seconds_deadline(self, demo_file, capsys):
+        assert main(["explore", "rv32", demo_file,
+                     "--max-seconds", "0"]) == 0
+        assert "stop=deadline" in capsys.readouterr().out
+
+    def test_explore_serve_metrics(self, clean_file, capsys):
+        assert main(["explore", "rv32", clean_file,
+                     "--serve-metrics", "0"]) == 0
+        assert "serving live metrics at http://127.0.0.1:" in \
+            capsys.readouterr().out
+
+    def test_explore_on_pressure_stop(self, tmp_path, capsys):
+        source = tmp_path / "branchy.s"
+        source.write_text(BRANCHY)
+        assert main(["explore", "rv32", str(source),
+                     "--health-every", "2", "--frontier-budget", "0",
+                     "--on-pressure", "stop"]) == 0
+        out = capsys.readouterr().out
+        assert "stop=pressure" in out
+        assert "frontier-pressure" in out
+
+
+class TestTopCLI:
+    def test_top_once_shows_latest_sample(self, health_run, capsys):
+        assert main(["top", health_run, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "frontier=" in out and "solver:" in out
+
+    def test_top_follow_stops_at_run_summary(self, health_run, capsys):
+        # The run already finished, so follow mode drains the file,
+        # sees the run_summary meta record and exits cleanly.
+        assert main(["top", health_run, "--interval", "0.01",
+                     "--max-wait", "2"]) == 0
+        assert "run finished:" in capsys.readouterr().out
+
+    def test_top_without_health_events_is_graceful(self, run_file,
+                                                   capsys):
+        assert main(["top", run_file, "--once"]) == 1
+        err = capsys.readouterr().err
+        assert "no health events" in err
+        assert "Traceback" not in err
+
+
+class TestMetricsCLI:
+    def test_metrics_table(self, health_run, capsys):
+        assert main(["metrics", health_run]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "engine.steps" in out
+        assert "health.samples" in out
+
+    def test_metrics_prom(self, health_run, capsys):
+        assert main(["metrics", health_run, "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_engine_steps_total counter" in out
+        assert "repro_health_samples_total" in out
+
+    def test_metrics_without_summary_is_graceful(self, tmp_path,
+                                                 capsys):
+        path = tmp_path / "meta-only.jsonl"
+        path.write_text('{"kind": "meta", "record": "schema", '
+                        '"version": 3}\n'
+                        '{"kind": "step", "isa": "rv32", "state": 0, '
+                        '"pc": 4096, "ts": 0.0}\n')
+        assert main(["metrics", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "no metrics section" in err
+        assert "Traceback" not in err
+
+
+class TestDiffstatsCLI:
+    def test_equal_runs_exit_zero(self, tmp_path, capsys):
+        a = _write_sidecar(tmp_path / "a.jsonl", 1000.0)
+        b = _write_sidecar(tmp_path / "b.jsonl", 1000.0)
+        assert main(["diffstats", a, b]) == 0
+        assert "regressions: 0" in capsys.readouterr().out
+
+    def test_injected_regression_exits_three(self, tmp_path, capsys):
+        a = _write_sidecar(tmp_path / "a.jsonl", 1000.0)
+        b = _write_sidecar(tmp_path / "b.jsonl", 700.0)   # 30% slower
+        assert main(["diffstats", a, b]) == 3
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "health.steps_per_sec.mean" in out
+
+    def test_threshold_flag(self, tmp_path):
+        a = _write_sidecar(tmp_path / "a.jsonl", 1000.0)
+        b = _write_sidecar(tmp_path / "b.jsonl", 700.0)
+        assert main(["diffstats", a, b, "--threshold", "0.5"]) == 0
+
+
+class TestDegenerateTelemetryInputs:
+    """PR 4 satellite: every reader fails gracefully, never a traceback."""
+
+    @pytest.mark.parametrize("argv", [
+        ["stats"], ["tree"], ["speccov"], ["metrics"], ["top", "--once"],
+    ])
+    def test_missing_file(self, argv, tmp_path, capsys):
+        assert main(argv[:1] + [str(tmp_path / "absent.jsonl")]
+                    + argv[1:]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    @pytest.mark.parametrize("argv", [
+        ["stats"], ["metrics"], ["top", "--once"],
+    ])
+    def test_empty_file(self, argv, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(argv[:1] + [str(path)] + argv[1:]) == 1
+        captured = capsys.readouterr()
+        assert "empty" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_diffstats_missing_either_side(self, tmp_path, capsys):
+        real = _write_sidecar(tmp_path / "a.jsonl", 1000.0)
+        absent = str(tmp_path / "absent.jsonl")
+        assert main(["diffstats", absent, real]) == 1
+        assert main(["diffstats", real, absent]) == 1
+        captured = capsys.readouterr()
+        assert "Traceback" not in captured.err
+
+    def test_zero_exploration_run(self, tmp_path, capsys):
+        # A run that stopped before executing anything (e.g. a zero
+        # deadline) still yields a parseable, reportable sidecar.
+        source = tmp_path / "branchy.s"
+        source.write_text(BRANCHY)
+        run = tmp_path / "empty-run.jsonl"
+        assert main(["explore", "rv32", str(source),
+                     "--max-seconds", "0",
+                     "--telemetry-out", str(run)]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(run)]) == 0
+        assert "stop=deadline" in capsys.readouterr().out
+        assert main(["top", str(run), "--once"]) == 1
+        assert "no health events" in capsys.readouterr().err
+
+    def test_schema_v1_sidecar_still_reads(self, tmp_path, capsys):
+        # Old sidecars predate health events; readers must degrade
+        # gracefully, not crash.
+        path = tmp_path / "v1.jsonl"
+        path.write_text('{"kind": "meta", "record": "schema", '
+                        '"version": 1}\n'
+                        '{"kind": "step", "isa": "rv32", "state": 0, '
+                        '"pc": 4096, "ts": 0.0, '
+                        '"data": {"mnemonic": "addi"}}\n')
+        assert main(["stats", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["top", str(path), "--once"]) == 1
+        assert "no health events" in capsys.readouterr().err
+        assert main(["diffstats", str(path), str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "Traceback" not in captured.err
+
+
 class TestParsing:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
