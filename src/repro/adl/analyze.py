@@ -14,12 +14,13 @@ order.
 from __future__ import annotations
 
 import re
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from . import ast as A
 from .errors import AdlSemanticError
 
-__all__ = ["analyze", "DecodePattern", "syntax_placeholders"]
+__all__ = ["analyze", "DecodePattern", "syntax_placeholders",
+           "overlapping_pairs"]
 
 _PLACEHOLDER_RE = re.compile(r"\{([a-zA-Z_][a-zA-Z_0-9]*)(?::([a-zA-Z_][a-zA-Z_0-9]*))?\}")
 
@@ -51,8 +52,14 @@ def syntax_placeholders(syntax: str):
         yield found.group(1), found.group(2)
 
 
-def analyze(spec: A.ArchSpec) -> A.ArchSpec:
-    """Check and annotate ``spec`` in place; returns it for chaining."""
+def analyze(spec: A.ArchSpec, check_ambiguity: bool = True) -> A.ArchSpec:
+    """Check and annotate ``spec`` in place; returns it for chaining.
+
+    ``check_ambiguity=False`` skips the decode-ambiguity gate: the lint
+    driver (:mod:`repro.lint`) uses this to keep analyzing a deliberately
+    ambiguous spec so its SMT ambiguity pass can report *every*
+    overlapping pair with witness words instead of dying on the first.
+    """
     _check_globals(spec)
     _layout_encodings(spec)
     names = set()
@@ -62,7 +69,8 @@ def analyze(spec: A.ArchSpec) -> A.ArchSpec:
                                    instr.line)
         names.add(instr.name)
         _check_instruction(spec, instr)
-    _check_decode_ambiguity(spec)
+    if check_ambiguity:
+        _check_decode_ambiguity(spec)
     return spec
 
 
@@ -245,7 +253,21 @@ def _fetch_prefix(pattern: DecodePattern, prefix_bytes: int,
     return pattern.mask >> shift, pattern.match >> shift
 
 
-def _check_decode_ambiguity(spec: A.ArchSpec) -> None:
+def overlapping_pairs(spec: A.ArchSpec
+                      ) -> List[Tuple[A.InstrDecl, A.InstrDecl, int, int]]:
+    """All instruction pairs whose decode patterns can match one word.
+
+    Returns ``(first, second, witness_word, prefix_bytes)`` tuples in a
+    deterministic order (sorted by the pair's instruction names): two
+    instructions overlap when some fetched word agrees with both fixed-bit
+    patterns over their common prefix.  The witness is one such word
+    (restricted to the prefix, in fetch order): each pattern's fixed bits,
+    unconstrained bits zero.
+
+    Requires decode patterns, i.e. the spec must have been through
+    :func:`analyze` (``check_ambiguity=False`` is fine).
+    """
+    pairs: List[Tuple[A.InstrDecl, A.InstrDecl, int, int]] = []
     instrs = spec.instructions
     for i, first in enumerate(instrs):
         for second in instrs[i + 1:]:
@@ -255,6 +277,32 @@ def _check_decode_ambiguity(spec: A.ArchSpec) -> None:
             mask_b, match_b = _fetch_prefix(pattern_b, prefix, spec.endian)
             common = mask_a & mask_b
             if (match_a & common) == (match_b & common):
-                raise AdlSemanticError(
-                    "instructions %r and %r have overlapping encodings"
-                    % (first.name, second.name), second.line)
+                witness = (match_a | match_b) & ((1 << (8 * prefix)) - 1)
+                left, right = first, second
+                if right.name < left.name:
+                    left, right = right, left
+                pairs.append((left, right, witness, prefix))
+    pairs.sort(key=lambda item: (item[0].name, item[1].name))
+    return pairs
+
+
+def _check_decode_ambiguity(spec: A.ArchSpec) -> None:
+    """Reject ambiguous encodings with a deterministic diagnostic.
+
+    Every overlapping pair is collected (not just the first found), the
+    list is sorted by instruction name, and each entry carries a concrete
+    witness word that both patterns match — so the error message is
+    stable across instruction-declaration order and immediately
+    actionable.
+    """
+    pairs = overlapping_pairs(spec)
+    if not pairs:
+        return
+    clauses = ["%s/%s (witness word %#0*x)"
+               % (left.name, right.name, 2 + 2 * prefix, witness)
+               for left, right, witness, prefix in pairs]
+    line = min(min(left.line, right.line) for left, right, _, _ in pairs)
+    raise AdlSemanticError(
+        "ambiguous instruction encodings: %d overlapping pair%s: %s"
+        % (len(pairs), "" if len(pairs) == 1 else "s", "; ".join(clauses)),
+        line)

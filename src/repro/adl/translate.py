@@ -30,7 +30,29 @@ from . import ast as A
 from .errors import AdlSemanticError
 
 __all__ = ["translate_instruction", "TranslationContext",
-           "RuleProvenance", "rule_provenance"]
+           "RuleProvenance", "rule_provenance",
+           "ir_validation_enabled", "set_ir_validation"]
+
+# Every translated rule is structurally/width validated at translation
+# time (repro.ir.validate) so malformed IR is caught at model-build time
+# with instruction provenance, never mid-execution.  The flag exists for
+# translation-throughput ablations and for tooling that deliberately
+# feeds the validator itself; leave it on everywhere else.
+_VALIDATE_IR = True
+
+
+def ir_validation_enabled() -> bool:
+    """Whether translated rules are run through ``ir.validate_block``."""
+    return _VALIDATE_IR
+
+
+def set_ir_validation(enabled: bool) -> bool:
+    """Enable/disable translation-time IR validation; returns the
+    previous setting (restore it in a ``finally``)."""
+    global _VALIDATE_IR
+    previous = _VALIDATE_IR
+    _VALIDATE_IR = bool(enabled)
+    return previous
 
 _COMPARISONS = frozenset({"eq", "ne", "ult", "ule", "ugt", "uge",
                           "slt", "sle", "sgt", "sge"})
@@ -157,10 +179,23 @@ class TranslationContext:
 
 def translate_instruction(spec: A.ArchSpec,
                           instr: A.InstrDecl) -> List[N.Stmt]:
-    """Lower one instruction's semantics to a validated IR block."""
+    """Lower one instruction's semantics to a validated IR block.
+
+    Validation (:func:`repro.ir.validate.validate_block`) runs on every
+    translated rule unless disabled via :func:`set_ir_validation`; an
+    :class:`~repro.ir.validate.IrError` is re-raised as an
+    :class:`AdlSemanticError` carrying the instruction's name and source
+    line, so a width bug in generated IR points back at the spec.
+    """
     ctx = TranslationContext(spec, instr)
     block = _translate_stmts(ctx, instr.semantics)
-    ir.validate_block(block)
+    if _VALIDATE_IR:
+        try:
+            ir.validate_block(block)
+        except ir.IrError as error:
+            raise AdlSemanticError(
+                "instruction %r translated to invalid IR: %s"
+                % (instr.name, error), instr.line)
     return block
 
 

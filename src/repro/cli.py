@@ -24,6 +24,12 @@ Subcommands::
     diffstats <A> <B>           diff two runs' metrics/health series;
                                 flags regressions above ``--threshold``
                                 (exit 3 when any are found)
+    lint <spec|--all>           static verification of ADL specs:
+                                structural + SMT proof passes with
+                                witness words (``--format
+                                text|json|sarif``, ``--baseline``,
+                                ``--list-passes``; exit 3 on new
+                                errors; see docs/LINT.md)
 
 Common options: ``--input TEXT`` (program input; ``\\xNN`` escapes),
 ``--base ADDR``, ``--max-steps N``.  ``explore`` adds ``--strategy``,
@@ -267,6 +273,29 @@ def _open_run(path):
     return run
 
 
+def _print_phases(phases) -> None:
+    if not phases:
+        return
+    print("\nper-phase:")
+    print("  %-18s %10s %12s %12s" % ("phase", "calls", "total", "self"))
+    print("  " + "-" * 55)
+    ordered = sorted(phases.items(),
+                     key=lambda kv: kv[1].get("total_s", 0.0),
+                     reverse=True)
+    for name, stats in ordered:
+        print("  %-18s %10d %11.4fs %11.4fs"
+              % (name, stats.get("calls", 0),
+                 stats.get("total_s", 0.0), stats.get("self_s", 0.0)))
+
+
+def _print_counters(counters) -> None:
+    if not counters:
+        return
+    print("\ncounters:")
+    for name in sorted(counters):
+        print("  %-24s %10d" % (name, counters[name]))
+
+
 def cmd_stats(args) -> int:
     """Pretty-print a saved ``--telemetry-out`` JSONL run."""
     run = _open_run(args.run)
@@ -288,40 +317,37 @@ def cmd_stats(args) -> int:
     for kind in sorted(by_kind, key=by_kind.get, reverse=True):
         print("  %-14s %8d" % (kind, by_kind[kind]))
     for record in meta:
-        if record.get("record") != "run_summary":
-            continue
-        telemetry = record.get("telemetry", {})
-        print("\nrun summary: paths=%s defects=%s instructions=%s "
-              "time=%.3fs stop=%s"
-              % (record.get("paths"), record.get("defects"),
-                 record.get("instructions"),
-                 record.get("wall_time", 0.0),
-                 record.get("stop_reason")))
-        phases = telemetry.get("phases", {})
-        if phases:
-            print("\nper-phase:")
-            print("  %-12s %10s %12s %12s" % ("phase", "calls", "total",
-                                              "self"))
-            print("  " + "-" * 49)
-            ordered = sorted(phases.items(),
-                             key=lambda kv: kv[1].get("total_s", 0.0),
-                             reverse=True)
-            for name, stats in ordered:
-                print("  %-12s %10d %11.4fs %11.4fs"
-                      % (name, stats.get("calls", 0),
-                         stats.get("total_s", 0.0),
-                         stats.get("self_s", 0.0)))
-        counters = telemetry.get("metrics", {}).get("counters", {})
-        if counters:
-            print("\ncounters:")
-            for name in sorted(counters):
-                print("  %-24s %10d" % (name, counters[name]))
-        cache_line = solver_cache_summary(telemetry.get("solver"))
-        if cache_line is not None:
-            print("\n" + cache_line)
-        health_line = health_summary_line(telemetry.get("health"))
-        if health_line is not None:
-            print(health_line)
+        kind = record.get("record")
+        if kind == "run_summary":
+            telemetry = record.get("telemetry", {})
+            print("\nrun summary: paths=%s defects=%s instructions=%s "
+                  "time=%.3fs stop=%s"
+                  % (record.get("paths"), record.get("defects"),
+                     record.get("instructions"),
+                     record.get("wall_time", 0.0),
+                     record.get("stop_reason")))
+            _print_phases(telemetry.get("phases", {}))
+            _print_counters(telemetry.get("metrics", {}).get("counters",
+                                                             {}))
+            cache_line = solver_cache_summary(telemetry.get("solver"))
+            if cache_line is not None:
+                print("\n" + cache_line)
+            health_line = health_summary_line(telemetry.get("health"))
+            if health_line is not None:
+                print(health_line)
+        elif kind == "lint_summary":
+            telemetry = record.get("telemetry", {})
+            counts = record.get("counts", {})
+            print("\nlint summary: %s spec(s): %s error, %s warn, %s "
+                  "info  (%.3fs, %s solver checks)"
+                  % (len(record.get("specs", [])),
+                     counts.get("error", 0), counts.get("warn", 0),
+                     counts.get("info", 0),
+                     record.get("wall_time", 0.0),
+                     record.get("solver_checks", 0)))
+            _print_phases(telemetry.get("phases", {}))
+            _print_counters(telemetry.get("metrics", {}).get("counters",
+                                                             {}))
     return 0
 
 
@@ -578,6 +604,100 @@ def cmd_diffstats(args) -> int:
     return 3 if comparison.regressions else 0
 
 
+def cmd_lint(args) -> int:
+    """Static verification of ADL specs (see docs/LINT.md).
+
+    Exit codes: 0 clean (or everything baselined), 1 a spec could not be
+    linted at all, 2 bad usage, 3 non-baselined ``error`` findings.
+    """
+    import time as _time
+
+    from . import lint
+    from .adl import builtin_spec_names
+
+    if args.list_passes:
+        for lint_pass in lint.all_passes():
+            print("%-18s %-10s %-5s  %s"
+                  % (lint_pass.id, lint_pass.family,
+                     lint_pass.default_severity, lint_pass.title))
+        return 0
+    targets = list(args.specs)
+    if args.all:
+        targets = builtin_spec_names() + targets
+    if not targets:
+        sys.stderr.write("error: name a built-in spec, an .adl file, or "
+                         "pass --all\n")
+        return 2
+    try:
+        config = lint.LintConfig(enable=args.enable, disable=args.disable)
+        config.selected_passes()  # fail fast on unknown pass ids
+    except KeyError as error:
+        sys.stderr.write("error: %s\n" % error.args[0])
+        return 2
+    obs = Obs(metrics=True, profile=True)
+    started = _time.perf_counter()
+    reports = []
+    try:
+        for target in targets:
+            reports.append(lint.run_lint(target, config=config, obs=obs))
+    except lint.LintError as error:
+        sys.stderr.write("error: %s\n" % error)
+        return 1
+    wall_time = _time.perf_counter() - started
+    if args.write_baseline:
+        findings = [f for report in reports for f in report.findings]
+        baseline = lint.write_baseline(args.write_baseline, findings)
+        sys.stderr.write("wrote baseline %s (%d fingerprints)\n"
+                         % (args.write_baseline, len(baseline)))
+    suppressed = []
+    if args.baseline:
+        try:
+            baseline = lint.load_baseline(args.baseline)
+        except (OSError, ValueError) as error:
+            sys.stderr.write("error: %s\n" % error)
+            return 1
+        for report in reports:
+            kept, gone = baseline.split(report.findings)
+            report.findings = kept
+            suppressed.extend(gone)
+    if args.format == "json":
+        text = lint.render_json(reports, suppressed)
+    elif args.format == "sarif":
+        text = lint.render_sarif(reports, suppressed,
+                                 tool_version=__version__)
+    else:
+        text = lint.render_text(reports, suppressed,
+                                show_timings=args.timings)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    if args.telemetry_out:
+        sink = JsonlSink(args.telemetry_out)
+        sink.write_meta({
+            "record": "lint_summary",
+            "specs": [report.spec_name for report in reports],
+            "counts": _lint_totals(reports),
+            "wall_time": round(wall_time, 6),
+            "solver_checks": sum(t.solver_checks for report in reports
+                                 for t in report.timings),
+            "telemetry": obs.snapshot(),
+        })
+        sink.close()
+    errors = sum(len(report.errors()) for report in reports)
+    return 3 if errors else 0
+
+
+def _lint_totals(reports):
+    from .lint import SEVERITIES
+    totals = {severity: 0 for severity in SEVERITIES}
+    for report in reports:
+        for severity, count in report.by_severity().items():
+            totals[severity] = totals.get(severity, 0) + count
+    return totals
+
+
 def cmd_cfg(args) -> int:
     model, image = _load(args)
     cfg = recover_cfg(model, image)
@@ -729,13 +849,47 @@ def main(argv=None) -> int:
     speccov.add_argument("--out", metavar="FILE",
                          help="write the report to FILE instead of stdout")
 
+    lint = commands.add_parser(
+        "lint",
+        help="static verification of ADL specs (structural + SMT proof "
+             "passes; exit 3 on new errors)")
+    lint.add_argument("specs", nargs="*",
+                      help="built-in spec names or .adl file paths")
+    lint.add_argument("--all", action="store_true",
+                      help="lint every built-in spec")
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json", "sarif"],
+                      help="output format (default text)")
+    lint.add_argument("--out", metavar="FILE",
+                      help="write the report to FILE instead of stdout")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="suppress findings whose fingerprints are in "
+                           "this baseline file")
+    lint.add_argument("--write-baseline", metavar="FILE",
+                      help="record the current findings as the accepted "
+                           "baseline")
+    lint.add_argument("--enable", action="append", default=[],
+                      metavar="PASS",
+                      help="run only these passes (repeatable)")
+    lint.add_argument("--disable", action="append", default=[],
+                      metavar="PASS",
+                      help="skip these passes (repeatable)")
+    lint.add_argument("--list-passes", action="store_true",
+                      help="list registered passes and exit")
+    lint.add_argument("--timings", action="store_true",
+                      help="text format: include per-pass wall/solver "
+                           "time")
+    lint.add_argument("--telemetry-out", metavar="FILE.jsonl",
+                      help="write a lint summary readable by "
+                           "'repro stats'")
+
     args = parser.parse_args(argv)
     handler = {
         "isas": cmd_isas, "asm": cmd_asm, "dis": cmd_dis, "run": cmd_run,
         "trace": cmd_trace, "explore": cmd_explore, "cfg": cmd_cfg,
         "stats": cmd_stats, "tree": cmd_tree, "speccov": cmd_speccov,
         "top": cmd_top, "metrics": cmd_metrics,
-        "diffstats": cmd_diffstats,
+        "diffstats": cmd_diffstats, "lint": cmd_lint,
     }[args.command]
     return handler(args)
 

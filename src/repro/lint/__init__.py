@@ -1,0 +1,58 @@
+"""``repro.lint`` — an SMT-backed static verifier for ADL specs.
+
+A pluggable pass framework over the ADL front end and the generated IR:
+*structural* passes walk the AST/IR (use-before-def, dead assignments,
+width mismatches, shadowed decode rules, syntax/operand hygiene, missing
+PC updates on branches, flag-write completeness) and *SMT proof* passes
+pose solver queries over the full encoding space (decode ambiguity with
+concrete witness words, decoder completeness, assembler->decoder
+round-trip, semantic sanity obligations).
+
+Entry points: :func:`run_lint` / :func:`run_lint_all` drive the passes;
+:mod:`repro.lint.report` renders text / JSON / SARIF;
+:mod:`repro.lint.baseline` implements the accepted-findings suppression
+workflow.  ``repro lint`` is the CLI surface; see ``docs/LINT.md``.
+"""
+
+from .base import (  # noqa: F401
+    SMT,
+    STRUCTURAL,
+    LintContext,
+    LintPass,
+    all_passes,
+    pass_by_id,
+    register,
+)
+from .baseline import Baseline, load_baseline, write_baseline  # noqa: F401
+from .findings import (  # noqa: F401
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARN,
+    Finding,
+    LintReport,
+    PassTiming,
+    severity_rank,
+)
+from .report import FORMATS, render_json, render_sarif, render_text  # noqa: F401
+from .runner import (  # noqa: F401
+    LintConfig,
+    LintError,
+    resolve_spec,
+    run_lint,
+    run_lint_all,
+)
+
+# Importing the pass modules registers every shipped pass.
+from . import structural  # noqa: F401,E402
+from . import proofs  # noqa: F401,E402
+
+__all__ = [
+    "ERROR", "WARN", "INFO", "SEVERITIES", "severity_rank",
+    "Finding", "PassTiming", "LintReport",
+    "LintPass", "LintContext", "register", "all_passes", "pass_by_id",
+    "STRUCTURAL", "SMT",
+    "Baseline", "load_baseline", "write_baseline",
+    "render_text", "render_json", "render_sarif", "FORMATS",
+    "LintConfig", "LintError", "run_lint", "run_lint_all", "resolve_spec",
+]

@@ -1,0 +1,77 @@
+"""Baseline files: accepted-findings suppression for ``repro lint``.
+
+A baseline is a JSON file listing finding *fingerprints* that are known
+and accepted.  Fingerprints deliberately exclude the line number and the
+witness word, so routine edits to a spec (reordering declarations,
+re-numbering lines) do not resurrect suppressed findings; only a change
+to the pass, file, instruction, or message text does.
+
+``repro lint --baseline FILE`` filters matched findings out of the
+report (they are counted as *suppressed*); ``--write-baseline FILE``
+records the current findings as the new baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Set
+
+from .findings import Finding
+
+__all__ = ["Baseline", "load_baseline", "write_baseline"]
+
+_FORMAT = "repro-lint-baseline"
+_VERSION = 1
+
+
+class Baseline:
+    """A set of accepted finding fingerprints."""
+
+    def __init__(self, fingerprints: Iterable[str] = ()):
+        self.fingerprints: Set[str] = set(fingerprints)
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.fingerprints
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.fingerprints
+
+    def split(self, findings: Iterable[Finding]):
+        """Partition ``findings`` into ``(new, suppressed)`` lists."""
+        new: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            (suppressed if self.matches(finding) else new).append(finding)
+        return new, suppressed
+
+    def to_dict(self) -> Dict:
+        return {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "fingerprints": sorted(self.fingerprints),
+        }
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a baseline file; raises ``ValueError`` on a malformed one."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or data.get("format") != _FORMAT:
+        raise ValueError("%s is not a repro lint baseline file" % path)
+    fingerprints = data.get("fingerprints", [])
+    if not isinstance(fingerprints, list) or any(
+            not isinstance(item, str) for item in fingerprints):
+        raise ValueError("%s: fingerprints must be a list of strings" % path)
+    return Baseline(fingerprints)
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> Baseline:
+    """Record ``findings`` as the accepted baseline at ``path``."""
+    baseline = Baseline(finding.fingerprint() for finding in findings)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(baseline.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return baseline

@@ -1,0 +1,183 @@
+"""Findings: what a lint pass reports.
+
+A :class:`Finding` is one diagnostic with severity, spec-file provenance
+(path + line), the instruction it concerns (when applicable), an optional
+concrete *witness* (an encoding word or field assignment produced by an
+SMT proof pass), and a stable :meth:`fingerprint` used by the baseline
+suppression workflow.
+
+Severities form a strict order: ``error`` findings gate CI (``repro lint``
+exits 3 on any non-baselined error), ``warn`` findings are advisory, and
+``info`` findings are observations (e.g. intentionally-undecodable opcode
+space).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ERROR", "WARN", "INFO", "SEVERITIES", "severity_rank",
+           "Finding", "PassTiming", "LintReport"]
+
+ERROR = "error"
+WARN = "warn"
+INFO = "info"
+
+#: All severities, most severe first.
+SEVERITIES = (ERROR, WARN, INFO)
+
+_RANK = {ERROR: 0, WARN: 1, INFO: 2}
+
+
+def severity_rank(severity: str) -> int:
+    """Lower is more severe; unknown severities sort last."""
+    return _RANK.get(severity, len(_RANK))
+
+
+class Finding:
+    """One diagnostic produced by a lint pass."""
+
+    __slots__ = ("pass_id", "severity", "message", "path", "line",
+                 "instruction", "witness", "details")
+
+    def __init__(self, pass_id: str, severity: str, message: str,
+                 path: str = "", line: int = 0,
+                 instruction: Optional[str] = None,
+                 witness: Optional[int] = None,
+                 details: Optional[Dict[str, Any]] = None):
+        if severity not in _RANK:
+            raise ValueError("unknown severity %r" % severity)
+        self.pass_id = pass_id
+        self.severity = severity
+        self.message = message
+        self.path = path
+        self.line = line
+        self.instruction = instruction
+        self.witness = witness
+        self.details = dict(details) if details else {}
+
+    # -- identity -----------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable suppression key for the baseline workflow.
+
+        Deliberately excludes the line number (so unrelated edits above a
+        baselined finding do not un-suppress it) and the witness value
+        (an incidental model choice); it keys on the pass, the spec file
+        basename, the instruction, and a short hash of the message.
+        """
+        basename = os.path.basename(self.path) if self.path else ""
+        digest = hashlib.sha256(self.message.encode("utf-8")).hexdigest()
+        return "%s:%s:%s:%s" % (self.pass_id, basename,
+                                self.instruction or "-", digest[:12])
+
+    def sort_key(self):
+        return (self.path, self.line, severity_rank(self.severity),
+                self.pass_id, self.instruction or "", self.message)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "pass": self.pass_id,
+            "severity": self.severity,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "fingerprint": self.fingerprint(),
+        }
+        if self.instruction is not None:
+            record["instruction"] = self.instruction
+        if self.witness is not None:
+            record["witness"] = "%#x" % self.witness
+        if self.details:
+            record["details"] = dict(self.details)
+        return record
+
+    def location(self) -> str:
+        where = self.path or "<spec>"
+        if self.line:
+            where += ":%d" % self.line
+        return where
+
+    def __repr__(self):
+        return "<Finding %s %s %s %r>" % (self.severity, self.pass_id,
+                                          self.location(), self.message)
+
+
+class PassTiming:
+    """Wall-time accounting for one executed pass."""
+
+    __slots__ = ("pass_id", "seconds", "findings", "solver_seconds",
+                 "solver_checks")
+
+    def __init__(self, pass_id: str, seconds: float, findings: int,
+                 solver_seconds: float = 0.0, solver_checks: int = 0):
+        self.pass_id = pass_id
+        self.seconds = seconds
+        self.findings = findings
+        self.solver_seconds = solver_seconds
+        self.solver_checks = solver_checks
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"pass": self.pass_id, "seconds": round(self.seconds, 6),
+                "findings": self.findings,
+                "solver_seconds": round(self.solver_seconds, 6),
+                "solver_checks": self.solver_checks}
+
+
+class LintReport:
+    """Everything one ``run_lint`` invocation produced for one spec."""
+
+    def __init__(self, spec_name: str, path: str):
+        self.spec_name = spec_name
+        self.path = path
+        self.findings: List[Finding] = []
+        self.timings: List[PassTiming] = []
+        self.passes_run: List[str] = []
+
+    # -- aggregation --------------------------------------------------------
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings) -> None:
+        for finding in findings:
+            self.add(finding)
+
+    def finalize(self) -> "LintReport":
+        """Deterministic ordering: findings sort by location/severity."""
+        self.findings.sort(key=Finding.sort_key)
+        return self
+
+    def by_severity(self) -> Dict[str, int]:
+        counts = {severity: 0 for severity in SEVERITIES}
+        for finding in self.findings:
+            counts[finding.severity] = counts.get(finding.severity, 0) + 1
+        return counts
+
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    def total_seconds(self) -> float:
+        return sum(t.seconds for t in self.timings)
+
+    def solver_seconds(self) -> float:
+        return sum(t.solver_seconds for t in self.timings)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec_name,
+            "path": self.path,
+            "passes": list(self.passes_run),
+            "counts": self.by_severity(),
+            "findings": [f.to_dict() for f in self.findings],
+            "timings": [t.to_dict() for t in self.timings],
+        }
+
+    def __repr__(self):
+        counts = self.by_severity()
+        return "<LintReport %s: %d error, %d warn, %d info>" % (
+            self.spec_name, counts[ERROR], counts[WARN], counts[INFO])

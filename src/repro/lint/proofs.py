@@ -1,0 +1,601 @@
+"""SMT-backed proof passes.
+
+Where the structural passes reason over fixed bits, these passes pose
+solver queries over the *full encoding space* — including the validity
+constraints the generated decoder enforces (register-typed fields must
+index inside their regfile) — and emit a concrete **witness word** when a
+proof fails:
+
+* ``smt-ambiguity``    — no two rules can decode one word.  Mask-level
+                         overlap is the (exact) pre-filter; the solver
+                         then decides whether an overlap survives the
+                         register-range constraints and produces the
+                         witness.
+* ``smt-completeness`` — is there a word the decoder rejects?  One query
+                         per instruction length: the conjunction of all
+                         pattern negations.  Real ISAs keep spare opcode
+                         space, so a witness is an ``info`` observation
+                         (and "decoder is total" is reported when the
+                         query is unsat).
+* ``smt-roundtrip``    — assembler→decoder consistency per instruction
+                         form: no assignment of an instruction's free
+                         fields may assemble to a word that an equal- or
+                         shorter-length rule steals, and every operand's
+                         field split/concatenation must invert.
+* ``smt-obligations``  — semantic sanity: register-file indices stay in
+                         range under decode validity, and divisions whose
+                         divisor can be zero are flagged (SMT-LIB
+                         semantics apply, but the spec author should have
+                         said so on purpose).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..adl import ast as A
+from ..adl.analyze import _fetch_prefix  # shared prefix arithmetic
+from ..ir import nodes as N
+from ..smt import terms as T
+from .base import SMT, LintContext, LintPass, register
+from .findings import ERROR, INFO, WARN, Finding
+from .structural import ShadowedRulePass
+
+__all__ = ["SymbolicIR"]
+
+SAT = "sat"
+UNSAT = "unsat"
+
+
+# ---------------------------------------------------------------------------
+# Encoding-space helpers
+# ---------------------------------------------------------------------------
+
+def _pattern_matches(word: T.Term, mask: int, match: int) -> T.Term:
+    bits = word.width
+    return T.eq(T.and_(word, T.bv(mask, bits)), T.bv(match, bits))
+
+
+def _field_slice(field: A.EncodingField, total_bits: int, prefix_bits: int,
+                 endian: str) -> Optional[Tuple[int, int]]:
+    """``(hi, lo)`` of a field inside the fetched *prefix* word, or
+    ``None`` when the field is not wholly contained in the prefix."""
+    if endian == "little":
+        lo = field.lsb
+        hi = field.lsb + field.width - 1
+        if hi >= prefix_bits:
+            return None
+        return hi, lo
+    shift = total_bits - prefix_bits
+    lo = field.lsb - shift
+    hi = lo + field.width - 1
+    if lo < 0:
+        return None
+    return hi, lo
+
+
+def _validity(ctx: LintContext, instr: A.InstrDecl, word: T.Term,
+              prefix_bytes: int) -> List[T.Term]:
+    """Decode-validity constraints of ``instr`` over a prefix word:
+    register-typed fields visible in the prefix index inside their
+    regfile (mirrors ``Decoder.decode_bytes``'s ``reg_field_limits``)."""
+    enc = ctx.encoding_of(instr)
+    limits = ctx.reg_field_limits(instr)
+    conds: List[T.Term] = []
+    for field in enc.fields:
+        limit = limits.get(field.name)
+        if limit is None or limit >= (1 << field.width):
+            continue
+        where = _field_slice(field, enc.total_bits, 8 * prefix_bytes,
+                             ctx.spec.endian)
+        if where is None:
+            continue
+        hi, lo = where
+        conds.append(T.ult(T.extract(word, hi, lo),
+                           T.bv(limit, field.width)))
+    return conds
+
+
+def _compatible(ctx, instr_a: A.InstrDecl, instr_b: A.InstrDecl
+                ) -> Optional[Tuple[int, int, int, int, int]]:
+    """Cheap exact pre-filter for fixed-bit overlap over the common
+    prefix; returns ``(prefix_bytes, mask_a, match_a, mask_b, match_b)``
+    or ``None`` when the fixed bits alone already rule overlap out."""
+    prefix = min(instr_a.pattern.length, instr_b.pattern.length)
+    mask_a, match_a = _fetch_prefix(instr_a.pattern, prefix,
+                                    ctx.spec.endian)
+    mask_b, match_b = _fetch_prefix(instr_b.pattern, prefix,
+                                    ctx.spec.endian)
+    common = mask_a & mask_b
+    if (match_a & common) != (match_b & common):
+        return None
+    return prefix, mask_a, match_a, mask_b, match_b
+
+
+# ---------------------------------------------------------------------------
+# Symbolic IR evaluation (for the semantic obligations)
+# ---------------------------------------------------------------------------
+
+class SymbolicIR:
+    """Evaluate one rule's IR over symbolic encoding fields.
+
+    Fields/operands become bitvector variables (``f_<name>``); machine
+    state reads (registers, memory, input) become fresh unconstrained
+    variables — sound for the obligations we pose, which only constrain
+    field-derived values.  Walking statements collects *obligation
+    sites*: ``(path_condition, kind, term, detail)`` tuples the proof
+    pass turns into solver queries.
+    """
+
+    def __init__(self, instr: A.InstrDecl, enc: A.EncodingDecl,
+                 wordsize: int, pc_width: int, mkvar=T.var):
+        self.instr = instr
+        self.wordsize = wordsize
+        self.pc_width = pc_width
+        self._mkvar = mkvar
+        self._fresh = itertools.count()
+        self.fields: Dict[str, T.Term] = {
+            field.name: mkvar("f_%s_%s" % (enc.name, field.name),
+                              field.width)
+            for field in enc.fields}
+        for operand in instr.operands:
+            self.fields[operand.name] = operand_term(enc, operand,
+                                                     self.fields,
+                                                     mkvar=mkvar)
+        self.locals: Dict[str, T.Term] = {}
+        #: (path_condition_terms, kind, interesting_term, detail)
+        self.obligations: List[Tuple[Tuple[T.Term, ...], str, T.Term,
+                                     str]] = []
+
+    # -- expression translation ---------------------------------------------
+
+    def fresh(self, what: str, width: int) -> T.Term:
+        return self._mkvar("%s_%s_%d" % (what, self.instr.name,
+                                         next(self._fresh)), width)
+
+    def expr(self, node: N.Expr, path: Tuple[T.Term, ...]) -> T.Term:
+        if isinstance(node, N.Const):
+            return T.bv(node.value, node.width)
+        if isinstance(node, N.Field):
+            term = self.fields.get(node.name)
+            if term is None or term.width != node.width:
+                return self.fresh("field", node.width)
+            return term
+        if isinstance(node, N.Local):
+            term = self.locals.get(node.name)
+            if term is None or term.width != node.width:
+                return self.fresh("local", node.width)
+            return term
+        if isinstance(node, N.Pc):
+            return self._mkvar("pc_%s" % self.instr.name, node.width)
+        if isinstance(node, N.ReadReg):
+            if node.index is not None:
+                self._note_index(node.regfile, node.index, path)
+            return self.fresh("reg", node.width)
+        if isinstance(node, (N.Load, N.InputByte)):
+            return self.fresh("mem", node.width)
+        if isinstance(node, N.BinOp):
+            left = self.expr(node.left, path)
+            right = self.expr(node.right, path)
+            if node.op in ("udiv", "urem", "sdiv", "srem"):
+                self.obligations.append(
+                    (path, "div-by-zero",
+                     T.eq(right, T.bv(0, right.width)), node.op))
+            return _BINOPS[node.op](left, right)
+        if isinstance(node, N.UnOp):
+            operand = self.expr(node.operand, path)
+            if node.op == "neg":
+                return T.neg(operand)
+            return T.not_(operand)  # 'not' and width-1 'boolnot'
+        if isinstance(node, N.Ext):
+            operand = self.expr(node.operand, path)
+            extra = node.width - operand.width
+            return (T.zext(operand, extra) if node.kind == "zext"
+                    else T.sext(operand, extra))
+        if isinstance(node, N.ExtractBits):
+            return T.extract(self.expr(node.operand, path), node.hi,
+                             node.lo)
+        if isinstance(node, N.ConcatBits):
+            return T.concat(self.expr(node.hi_part, path),
+                            self.expr(node.lo_part, path))
+        if isinstance(node, N.IteExpr):
+            return T.ite(self.expr(node.cond, path),
+                         self.expr(node.then, path),
+                         self.expr(node.other, path))
+        return self.fresh("opaque", node.width)
+
+    def _note_index(self, regfile: str, index: N.Expr,
+                    path: Tuple[T.Term, ...]) -> None:
+        term = self.expr(index, path)
+        self.obligations.append((path, "reg-index", term, regfile))
+
+    # -- statement walk ------------------------------------------------------
+
+    def walk(self, block: Iterable[N.Stmt],
+             path: Tuple[T.Term, ...] = ()) -> None:
+        for stmt in block:
+            if isinstance(stmt, N.SetLocal):
+                self.locals[stmt.name] = self.expr(stmt.value, path)
+            elif isinstance(stmt, N.SetReg):
+                if stmt.index is not None:
+                    self._note_index(stmt.regfile, stmt.index, path)
+                self.expr(stmt.value, path)
+            elif isinstance(stmt, (N.SetPc, N.Output)):
+                self.expr(stmt.value, path)
+            elif isinstance(stmt, (N.Halt, N.Trap)):
+                self.expr(stmt.code, path)
+            elif isinstance(stmt, N.Store):
+                self.expr(stmt.addr, path)
+                self.expr(stmt.value, path)
+            elif isinstance(stmt, N.IfStmt):
+                cond = self.expr(stmt.cond, path)
+                before = dict(self.locals)
+                self.walk(stmt.then_body, path + (cond,))
+                then_locals = self.locals
+                self.locals = dict(before)
+                self.walk(stmt.else_body, path + (T.not_(cond),))
+                merged = dict(self.locals)
+                for name, then_term in then_locals.items():
+                    else_term = merged.get(name)
+                    if else_term is None:
+                        merged[name] = then_term
+                    elif else_term is not then_term \
+                            and else_term.width == then_term.width:
+                        merged[name] = T.ite(cond, then_term, else_term)
+                self.locals = merged
+
+
+_BINOPS = {
+    "add": T.add, "sub": T.sub, "mul": T.mul, "udiv": T.udiv,
+    "urem": T.urem, "sdiv": T.sdiv, "srem": T.srem, "and": T.and_,
+    "or": T.or_, "xor": T.xor, "shl": T.shl, "lshr": T.lshr,
+    "ashr": T.ashr, "eq": T.eq, "ne": T.ne, "ult": T.ult, "ule": T.ule,
+    "ugt": T.ugt, "uge": T.uge, "slt": T.slt, "sle": T.sle,
+    "sgt": T.sgt, "sge": T.sge,
+}
+
+
+def operand_term(enc: A.EncodingDecl, operand: A.OperandDecl,
+                 fields: Dict[str, T.Term], mkvar=T.var) -> T.Term:
+    """The operand's value as the MSB-first concatenation of its parts."""
+    parts: List[T.Term] = []
+    for part in operand.parts:
+        if part.field_name is None:
+            if part.zero_bits:
+                parts.append(T.bv(0, part.zero_bits))
+        else:
+            field = enc.field(part.field_name)
+            parts.append(fields.get(part.field_name,
+                                    mkvar("f_%s_%s" % (enc.name,
+                                                       part.field_name),
+                                          field.width)))
+    if not parts:
+        return T.bv(0, 1)
+    return T.concat_many(parts)
+
+
+# ---------------------------------------------------------------------------
+# Passes
+# ---------------------------------------------------------------------------
+
+@register
+class SmtAmbiguityPass(LintPass):
+    id = "smt-ambiguity"
+    title = "no two rules decode one word (proof over full space)"
+    family = SMT
+    default_severity = ERROR
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        solver = ctx.new_solver()
+        instrs = ctx.instructions()
+        for i, first in enumerate(instrs):
+            for second in instrs[i + 1:]:
+                compat = _compatible(ctx, first, second)
+                if compat is None:
+                    continue
+                prefix, mask_a, match_a, mask_b, match_b = compat
+                if ShadowedRulePass._subsumed(first, second, prefix,
+                                              ctx.spec.endian) is not None:
+                    continue  # reported (with witness) by shadowed-rule
+                bits = 8 * prefix
+                word = ctx.mkvar("w_%s_%s" % (first.name, second.name),
+                                 bits)
+                query = [_pattern_matches(word, mask_a, match_a),
+                         _pattern_matches(word, mask_b, match_b)]
+                query += _validity(ctx, first, word, prefix)
+                query += _validity(ctx, second, word, prefix)
+                verdict = ctx.check(solver, query)
+                left, right = sorted((first, second),
+                                     key=lambda item: item.name)
+                if verdict == SAT:
+                    witness = T.evaluate(word, solver.model())
+                    yield self.finding(
+                        ctx, "instructions %r and %r can decode the same "
+                        "word (witness word %#0*x)"
+                        % (left.name, right.name, 2 + 2 * prefix, witness),
+                        line=max(first.line, second.line),
+                        instruction=right.name, witness=witness,
+                        details={"other": left.name,
+                                 "prefix_bytes": prefix})
+                else:
+                    yield self.finding(
+                        ctx, "fixed-bit masks of %r and %r overlap, but "
+                        "the register-range constraints make the overlap "
+                        "undecodable (proven unsat)"
+                        % (left.name, right.name),
+                        line=max(first.line, second.line),
+                        instruction=right.name, severity=INFO)
+
+
+@register
+class SmtCompletenessPass(LintPass):
+    id = "smt-completeness"
+    title = "how much of the encoding space decodes (witness if not all)"
+    family = SMT
+    default_severity = INFO
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        solver = ctx.new_solver()
+        by_length: Dict[int, List[A.InstrDecl]] = {}
+        for instr in ctx.instructions():
+            by_length.setdefault(instr.pattern.length, []).append(instr)
+        for length in sorted(by_length):
+            bits = 8 * length
+            word = ctx.mkvar("w_len%d" % length, bits)
+            rejects: List[T.Term] = []
+            for instr in ctx.instructions():
+                if instr.pattern.length > length:
+                    continue
+                prefix = instr.pattern.length
+                mask, match = _fetch_prefix(instr.pattern, prefix,
+                                            ctx.spec.endian)
+                sub = _prefix_of(word, 8 * prefix, ctx.spec.endian)
+                matches = T.conjoin(
+                    [_pattern_matches(sub, mask, match)]
+                    + _validity(ctx, instr, sub, prefix))
+                rejects.append(T.not_(matches))
+            verdict = ctx.check(solver, rejects)
+            if verdict == SAT:
+                witness = T.evaluate(word, solver.model())
+                yield self.finding(
+                    ctx, "%d-byte windows are not exhaustively decodable: "
+                    "witness word %#0*x matches no rule (spare opcode "
+                    "space — expected for most ISAs)"
+                    % (length, 2 + 2 * length, witness),
+                    witness=witness, details={"length": length})
+            else:
+                yield self.finding(
+                    ctx, "decoder is total over %d-byte windows (proven: "
+                    "every word decodes)" % length,
+                    details={"length": length})
+
+
+def _prefix_of(word: T.Term, prefix_bits: int, endian: str) -> T.Term:
+    if prefix_bits >= word.width:
+        return word
+    if endian == "little":
+        return T.extract(word, prefix_bits - 1, 0)
+    return T.extract(word, word.width - 1, word.width - prefix_bits)
+
+
+@register
+class SmtRoundTripPass(LintPass):
+    id = "smt-roundtrip"
+    title = "assemble→decode is the identity for every rule form"
+    family = SMT
+    default_severity = ERROR
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        solver = ctx.new_solver()
+        for instr in ctx.instructions():
+            word, field_vars = self._assembled(ctx, instr)
+            own_validity = self._field_validity(ctx, instr, field_vars)
+            for other in ctx.instructions():
+                if other is instr:
+                    continue
+                if other.pattern.length > instr.pattern.length:
+                    continue
+                for finding in self._steals(ctx, solver, instr, other,
+                                            word, field_vars,
+                                            own_validity):
+                    yield finding
+            for finding in self._operand_roundtrip(ctx, instr):
+                yield finding
+
+    # -- assembled-word model ------------------------------------------------
+
+    def _assembled(self, ctx: LintContext, instr: A.InstrDecl
+                   ) -> Tuple[T.Term, Dict[str, T.Term]]:
+        """The instruction word as the assembler builds it: fixed match
+        bits OR'd with one variable per free field."""
+        enc = ctx.encoding_of(instr)
+        bits = enc.total_bits
+        word = T.bv(instr.pattern.match, bits)
+        field_vars: Dict[str, T.Term] = {}
+        for field in enc.fields:
+            if field.name in instr.match:
+                continue
+            var = ctx.mkvar("a_%s_%s" % (instr.name, field.name),
+                            field.width)
+            field_vars[field.name] = var
+            placed = T.shl(T.zext(var, bits - field.width),
+                           T.bv(field.lsb, bits))
+            word = T.or_(word, placed)
+        return word, field_vars
+
+    def _field_validity(self, ctx: LintContext, instr: A.InstrDecl,
+                        field_vars: Dict[str, T.Term]) -> List[T.Term]:
+        conds: List[T.Term] = []
+        for name, limit in ctx.reg_field_limits(instr).items():
+            var = field_vars.get(name)
+            if var is not None and limit < (1 << var.width):
+                conds.append(T.ult(var, T.bv(limit, var.width)))
+        return conds
+
+    def _steals(self, ctx: LintContext, solver, instr: A.InstrDecl,
+                other: A.InstrDecl, word: T.Term,
+                field_vars: Dict[str, T.Term],
+                own_validity: List[T.Term]) -> Iterable[Finding]:
+        compat = _compatible(ctx, instr, other)
+        if compat is None:
+            return
+        prefix = other.pattern.length
+        mask, match = _fetch_prefix(other.pattern, prefix,
+                                    ctx.spec.endian)
+        sub = _prefix_of(word, 8 * prefix, ctx.spec.endian)
+        query = [_pattern_matches(sub, mask, match)]
+        query += _validity(ctx, other, sub, prefix)
+        query += own_validity
+        if ctx.check(solver, query) != SAT:
+            return
+        model = solver.model()
+        witness = T.evaluate(word, model)
+        assignment = {name: T.evaluate(var, model)
+                      for name, var in sorted(field_vars.items())}
+        how = ("shorter rule wins the shortest-first decode"
+               if other.pattern.length < instr.pattern.length
+               else "equal-length patterns collide")
+        yield self.finding(
+            ctx, "assembling %r with fields %s yields word %#x, which "
+            "decodes as %r (%s)"
+            % (instr.name,
+               ", ".join("%s=%#x" % item for item in assignment.items()),
+               witness, other.name, how),
+            line=instr.line, instruction=instr.name, witness=witness,
+            details={"decodes_as": other.name, "fields": assignment})
+
+    # -- operand split/concat inversion --------------------------------------
+
+    def _operand_roundtrip(self, ctx: LintContext, instr: A.InstrDecl
+                           ) -> Iterable[Finding]:
+        """Prove ``encode_operand`` inverts ``operand_value``: splitting
+        the concatenated operand back into fields recovers every field.
+        Fails when a field appears twice in the concatenation with
+        conflicting positions (a classic copy/paste spec bug)."""
+        solver = ctx.new_solver()
+        enc = ctx.encoding_of(instr)
+        for operand in instr.operands:
+            field_vars: Dict[str, T.Term] = {}
+            for part in operand.parts:
+                if part.field_name is None:
+                    continue
+                field = enc.field(part.field_name)
+                if field is None:
+                    continue  # analyze already rejected; stay tolerant
+                field_vars.setdefault(
+                    part.field_name,
+                    ctx.mkvar("o_%s_%s_%s" % (instr.name, operand.name,
+                                              part.field_name),
+                              field.width))
+            if not field_vars:
+                continue
+            value = operand_term(enc, operand, field_vars,
+                                 mkvar=ctx.mkvar)
+            # encode_operand walks the parts LSB-first, peeling each
+            # field off the low end.
+            mismatches: List[T.Term] = []
+            shift = 0
+            for part in reversed(operand.parts):
+                if part.field_name is None:
+                    shift += part.zero_bits
+                    continue
+                field = enc.field(part.field_name)
+                if field is None:
+                    continue
+                recovered = T.extract(value, shift + field.width - 1,
+                                      shift)
+                mismatches.append(T.ne(recovered,
+                                       field_vars[part.field_name]))
+                shift += field.width
+            if not mismatches:
+                continue
+            if ctx.check(solver, [T.disjoin(mismatches)]) == SAT:
+                model = solver.model()
+                assignment = {name: T.evaluate(var, model)
+                              for name, var in sorted(field_vars.items())}
+                yield self.finding(
+                    ctx, "operand %r does not round-trip through "
+                    "encode/decode: fields %s are not recovered from "
+                    "value %#x"
+                    % (operand.name,
+                       ", ".join("%s=%#x" % item
+                                 for item in assignment.items()),
+                       T.evaluate(value, model)),
+                    line=operand.line or instr.line,
+                    instruction=instr.name)
+
+
+@register
+class SmtObligationsPass(LintPass):
+    id = "smt-obligations"
+    title = "semantic sanity: reg indices in range, guarded division"
+    family = SMT
+    default_severity = WARN
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        solver = ctx.new_solver()
+        spec = ctx.spec
+        for instr in ctx.instructions():
+            block = ctx.ir_blocks.get(instr.name)
+            if block is None:
+                continue
+            enc = ctx.encoding_of(instr)
+            sym = SymbolicIR(instr, enc, spec.wordsize, spec.pc.width,
+                             mkvar=ctx.mkvar)
+            sym.walk(block)
+            validity = [T.ult(sym.fields[name],
+                              T.bv(limit, sym.fields[name].width))
+                        for name, limit in
+                        sorted(ctx.reg_field_limits(instr).items())
+                        if limit < (1 << sym.fields[name].width)]
+            # Fields fixed by `match` are constants at decode time.
+            fixed = [T.eq(sym.fields[name],
+                          T.bv(value, sym.fields[name].width))
+                     for name, value in sorted(instr.match.items())
+                     if name in sym.fields]
+            assumptions = validity + fixed
+            seen: Set[Tuple[str, str, bytes]] = set()
+            for path, kind, term, detail in sym.obligations:
+                key = (kind, detail, T.digest(term))
+                if key in seen:
+                    continue
+                seen.add(key)
+                if kind == "reg-index":
+                    for finding in self._check_index(
+                            ctx, solver, instr, spec, path, term, detail,
+                            assumptions):
+                        yield finding
+                elif kind == "div-by-zero":
+                    for finding in self._check_division(
+                            ctx, solver, instr, path, term, detail,
+                            assumptions):
+                        yield finding
+
+    def _check_index(self, ctx: LintContext, solver, instr, spec, path,
+                     index: T.Term, regfile: str,
+                     assumptions: List[T.Term]) -> Iterable[Finding]:
+        decl = spec.regfiles.get(regfile)
+        if decl is None or decl.count >= (1 << index.width):
+            return
+        out_of_range = T.uge(index, T.bv(decl.count, index.width))
+        query = list(assumptions) + list(path) + [out_of_range]
+        if ctx.check(solver, query) == SAT:
+            witness = T.evaluate(index, solver.model())
+            yield self.finding(
+                ctx, "register index into %r can reach %d, past the "
+                "declared count %d (witness index %d)"
+                % (regfile, witness, decl.count, witness),
+                line=instr.line, instruction=instr.name,
+                witness=witness)
+
+    def _check_division(self, ctx: LintContext, solver, instr, path,
+                        divisor_is_zero: T.Term, op: str,
+                        assumptions: List[T.Term]) -> Iterable[Finding]:
+        query = list(assumptions) + list(path) + [divisor_is_zero]
+        if ctx.check(solver, query) == SAT:
+            yield self.finding(
+                ctx, "divisor of %r can be zero on a feasible path "
+                "(SMT-LIB semantics apply: all-ones / identity); guard "
+                "explicitly if that is not intended" % op,
+                line=instr.line, instruction=instr.name, severity=INFO)

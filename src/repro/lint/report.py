@@ -1,0 +1,174 @@
+"""Rendering lint reports: text, JSON, and SARIF 2.1.0.
+
+The text renderer is what a developer reads in a terminal; the JSON
+renderer is the machine-readable envelope (one object over all linted
+specs, with per-pass timings and suppression counts); the SARIF renderer
+emits a minimal SARIF 2.1.0 log so findings can be uploaded to code
+scanning UIs (one ``run``, one ``rule`` per pass, one ``result`` per
+finding with the witness word attached as a property).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from .base import all_passes
+from .findings import ERROR, INFO, SEVERITIES, WARN, Finding, LintReport
+
+__all__ = ["render_text", "render_json", "render_sarif", "FORMATS"]
+
+FORMATS = ("text", "json", "sarif")
+
+_SARIF_LEVEL = {ERROR: "error", WARN: "warning", INFO: "note"}
+
+
+# ---------------------------------------------------------------------------
+# text
+
+
+def _plural(count: int, noun: str) -> str:
+    return "%d %s%s" % (count, noun, "" if count == 1 else "s")
+
+
+def render_text(reports: Sequence[LintReport],
+                suppressed: Sequence[Finding] = (),
+                show_timings: bool = False) -> str:
+    """Human-readable listing, one line per finding plus a summary."""
+    lines: List[str] = []
+    totals = {severity: 0 for severity in SEVERITIES}
+    for report in reports:
+        for finding in report.findings:
+            totals[finding.severity] += 1
+            extra = ""
+            if finding.witness is not None:
+                extra = " [witness %#x]" % finding.witness
+            lines.append("%s: %s: %s: %s%s" % (
+                finding.location(), finding.severity.upper(),
+                finding.pass_id, finding.message, extra))
+        if show_timings and report.timings:
+            lines.append("-- %s pass timings --" % report.spec_name)
+            for timing in report.timings:
+                lines.append(
+                    "  %-18s %8.3fs  %s%s" % (
+                        timing.pass_id, timing.seconds,
+                        _plural(timing.findings, "finding"),
+                        ("  (solver %.3fs / %d checks)"
+                         % (timing.solver_seconds, timing.solver_checks))
+                        if timing.solver_checks else ""))
+    summary = "lint: %s across %s: %s" % (
+        _plural(sum(totals.values()), "finding"),
+        _plural(len(reports), "spec"),
+        ", ".join("%d %s" % (totals[sev], sev) for sev in SEVERITIES))
+    if suppressed:
+        summary += " (%s baselined)" % _plural(len(suppressed), "finding")
+    lines.append(summary)
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# JSON
+
+
+def render_json(reports: Sequence[LintReport],
+                suppressed: Sequence[Finding] = ()) -> str:
+    totals = {severity: 0 for severity in SEVERITIES}
+    for report in reports:
+        for severity, count in report.by_severity().items():
+            totals[severity] = totals.get(severity, 0) + count
+    envelope: Dict[str, Any] = {
+        "format": "repro-lint",
+        "version": 1,
+        "counts": totals,
+        "suppressed": [f.to_dict() for f in suppressed],
+        "reports": [report.to_dict() for report in reports],
+    }
+    return json.dumps(envelope, indent=2, sort_keys=True) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# SARIF 2.1.0
+
+
+def _sarif_rules() -> List[Dict[str, Any]]:
+    rules = []
+    for lint_pass in all_passes():
+        rules.append({
+            "id": lint_pass.id,
+            "name": lint_pass.id,
+            "shortDescription": {"text": lint_pass.title},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVEL.get(lint_pass.default_severity,
+                                          "warning"),
+            },
+            "properties": {"family": lint_pass.family},
+        })
+    return rules
+
+
+def _sarif_result(finding: Finding,
+                  rule_index: Dict[str, int]) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.pass_id,
+        "level": _SARIF_LEVEL.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "partialFingerprints": {
+            "reproLint/v1": finding.fingerprint(),
+        },
+    }
+    if finding.pass_id in rule_index:
+        result["ruleIndex"] = rule_index[finding.pass_id]
+    location: Dict[str, Any] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": finding.path or "<spec>"},
+        },
+    }
+    if finding.line:
+        location["physicalLocation"]["region"] = {
+            "startLine": finding.line,
+        }
+    result["locations"] = [location]
+    properties: Dict[str, Any] = {}
+    if finding.instruction is not None:
+        properties["instruction"] = finding.instruction
+    if finding.witness is not None:
+        properties["witness"] = "%#x" % finding.witness
+    if finding.details:
+        properties["details"] = dict(finding.details)
+    if properties:
+        result["properties"] = properties
+    return result
+
+
+def render_sarif(reports: Sequence[LintReport],
+                 suppressed: Sequence[Finding] = (),
+                 tool_version: Optional[str] = None) -> str:
+    rules = _sarif_rules()
+    rule_index = {rule["id"]: index for index, rule in enumerate(rules)}
+    results: List[Dict[str, Any]] = []
+    for report in reports:
+        for finding in report.findings:
+            results.append(_sarif_result(finding, rule_index))
+    for finding in suppressed:
+        result = _sarif_result(finding, rule_index)
+        result["suppressions"] = [{"kind": "external",
+                                   "justification": "baselined"}]
+        results.append(result)
+    driver: Dict[str, Any] = {
+        "name": "repro-lint",
+        "informationUri": "https://example.invalid/repro",
+        "rules": rules,
+    }
+    if tool_version:
+        driver["version"] = tool_version
+    log = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": driver},
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+    return json.dumps(log, indent=2, sort_keys=True) + "\n"

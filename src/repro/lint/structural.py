@@ -1,0 +1,532 @@
+"""Structural and dataflow lint passes.
+
+These passes walk the parsed spec (AST) and the translated IR; they need
+no solver.  Each catches a class of retargeting bug that the dynamic
+differential tests only find if a run happens to exercise the broken
+rule:
+
+* ``translation``       — semantics blocks that fail IR lowering (width
+                          mismatches, unknown names, bad builtins).
+* ``ir-width``          — ``ir/validate.py`` run on every successfully
+                          translated rule (cross-check: even with
+                          translation-time validation disabled, lint
+                          re-proves structural/width sanity).
+* ``use-before-def``    — locals that are only defined on *some* paths
+                          to a use (the semantics language has flat
+                          scoping, so this is legal syntax but undefined
+                          behaviour at runtime).
+* ``dead-assignment``   — locals that are never read, and values
+                          overwritten before any read.
+* ``shadowed-rule``     — rules that can never decode because an
+                          earlier/shorter rule matches every one of
+                          their encodings.
+* ``syntax-operands``   — declared operands that neither the syntax nor
+                          the semantics reference; semantics reading
+                          fields fixed by ``match``.
+* ``missing-pc-update`` — branch-shaped rules (pc-relative operands)
+                          whose semantics never assign ``pc``.
+* ``flag-completeness`` — instructions that write a strict subset of the
+                          spec's condition-flag class, or write a flag
+                          on only some paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..adl import ast as A
+from ..adl.analyze import overlapping_pairs, syntax_placeholders
+from ..ir import IrError, validate_block
+from .base import LintContext, LintPass, register
+from .findings import ERROR, INFO, WARN, Finding
+
+__all__ = ["ast_names_used", "must_defined_walk"]
+
+
+# ---------------------------------------------------------------------------
+# AST helpers
+# ---------------------------------------------------------------------------
+
+def _expr_children(expr: A.SExpr) -> Tuple[A.SExpr, ...]:
+    if isinstance(expr, A.SBin):
+        return (expr.left, expr.right)
+    if isinstance(expr, A.SUn):
+        return (expr.operand,)
+    if isinstance(expr, A.SCall):
+        return tuple(expr.args)
+    if isinstance(expr, A.STernary):
+        return (expr.cond, expr.then, expr.other)
+    if isinstance(expr, A.SIndex):
+        return (expr.index,)
+    return ()
+
+
+def _expr_names(expr: A.SExpr) -> Iterable[Tuple[str, int]]:
+    """Yield ``(name, line)`` for every name/index read in ``expr``."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, A.SName):
+            yield node.name, node.line
+        elif isinstance(node, A.SIndex):
+            yield node.name, node.line
+        stack.extend(_expr_children(node))
+
+
+def ast_names_used(stmts: Sequence[A.SStmt]) -> Set[str]:
+    """Every name read anywhere in a semantics block (not targets)."""
+    names: Set[str] = set()
+    for stmt in stmts:
+        for expr in _stmt_exprs(stmt):
+            names.update(name for name, _ in _expr_names(expr))
+        if isinstance(stmt, A.AIf):
+            names |= ast_names_used(stmt.then_body)
+            names |= ast_names_used(stmt.else_body)
+    return names
+
+
+def _stmt_exprs(stmt: A.SStmt) -> Tuple[A.SExpr, ...]:
+    """The expressions *read* by one statement (excluding sub-blocks).
+
+    For assignments the target's index expression counts as a read, the
+    target name itself does not.
+    """
+    if isinstance(stmt, A.ALocal):
+        return (stmt.value,)
+    if isinstance(stmt, A.AAssign):
+        if isinstance(stmt.target, A.SIndex):
+            return (stmt.target.index, stmt.value)
+        return (stmt.value,)
+    if isinstance(stmt, A.AIf):
+        return (stmt.cond,)
+    if isinstance(stmt, A.AStore):
+        return (stmt.addr, stmt.value)
+    if isinstance(stmt, A.AOut):
+        return (stmt.value,)
+    if isinstance(stmt, (A.AHalt, A.ATrap)):
+        return (stmt.code,)
+    return ()
+
+
+def _declared_locals(stmts: Sequence[A.SStmt]) -> Dict[str, int]:
+    """All ``local`` declarations in a block (flat scope), name -> line."""
+    declared: Dict[str, int] = {}
+    for stmt in stmts:
+        if isinstance(stmt, A.ALocal) and stmt.name not in declared:
+            declared[stmt.name] = stmt.line
+        elif isinstance(stmt, A.AIf):
+            for name, line in _declared_locals(stmt.then_body).items():
+                declared.setdefault(name, line)
+            for name, line in _declared_locals(stmt.else_body).items():
+                declared.setdefault(name, line)
+    return declared
+
+
+def must_defined_walk(stmts: Sequence[A.SStmt], locals_all: Set[str],
+                      defined: Set[str],
+                      problems: List[Tuple[str, int]]) -> Set[str]:
+    """Path-sensitive must-define analysis over a semantics block.
+
+    ``defined`` is the set of locals guaranteed defined on entry; the
+    return value is the set guaranteed defined on exit (intersection over
+    paths for ``if``).  Reads of a local not in the current must-defined
+    set are recorded in ``problems`` as ``(name, line)``.
+    """
+    current = set(defined)
+
+    def check_expr(expr: A.SExpr) -> None:
+        for name, line in _expr_names(expr):
+            if name in locals_all and name not in current:
+                problems.append((name, line))
+
+    for stmt in stmts:
+        for expr in _stmt_exprs(stmt):
+            check_expr(expr)
+        if isinstance(stmt, A.ALocal):
+            current.add(stmt.name)
+        elif isinstance(stmt, A.AAssign):
+            target = stmt.target
+            if isinstance(target, A.SName) and target.name in locals_all:
+                current.add(target.name)
+        elif isinstance(stmt, A.AIf):
+            then_out = must_defined_walk(stmt.then_body, locals_all,
+                                         current, problems)
+            else_out = must_defined_walk(stmt.else_body, locals_all,
+                                         current, problems)
+            current = then_out & else_out
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Passes
+# ---------------------------------------------------------------------------
+
+@register
+class TranslationPass(LintPass):
+    id = "translation"
+    title = "semantics blocks must lower to IR (width/name discipline)"
+    default_severity = ERROR
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        for name in sorted(ctx.translate_errors):
+            message, line = ctx.translate_errors[name]
+            yield self.finding(
+                ctx, "semantics failed IR translation: %s" % message,
+                line=line, instruction=name)
+
+
+@register
+class IrWidthPass(LintPass):
+    id = "ir-width"
+    title = "translated IR passes structural/width validation"
+    default_severity = ERROR
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        wordsize = ctx.spec.wordsize
+        for instr in ctx.instructions():
+            block = ctx.ir_blocks.get(instr.name)
+            if block is None:
+                continue  # translation failure already reported
+            try:
+                validate_block(block)
+            except IrError as error:
+                yield self.finding(
+                    ctx, "invalid IR: %s" % error, line=instr.line,
+                    instruction=instr.name)
+            for finding in self._check_machine_widths(ctx, instr, block):
+                yield finding
+            for stmt in instr.semantics:
+                for finding in self._check_access_sizes(ctx, instr, stmt,
+                                                        wordsize):
+                    yield finding
+
+    def _check_machine_widths(self, ctx: LintContext, instr: A.InstrDecl,
+                              block) -> Iterable[Finding]:
+        """Spec-aware width checks ``ir/validate.py`` cannot do on its
+        own: register reads/writes and pc updates must use the widths
+        the spec declares for those storage locations."""
+        from ..ir import nodes as N
+        from .base import iter_exprs, iter_stmts
+        spec = ctx.spec
+
+        def storage_width(regfile: str, index) -> Optional[int]:
+            if index is None and regfile in spec.registers:
+                return spec.registers[regfile].width
+            decl = spec.regfiles.get(regfile)
+            return decl.width if decl is not None else None
+
+        for stmt in iter_stmts(block):
+            if isinstance(stmt, N.SetReg):
+                want = storage_width(stmt.regfile, stmt.index)
+                if want is not None and stmt.value.width != want:
+                    yield self.finding(
+                        ctx, "writes %d bits into %d-bit register %r"
+                        % (stmt.value.width, want, stmt.regfile),
+                        line=instr.line, instruction=instr.name)
+            elif isinstance(stmt, N.SetPc):
+                if stmt.value.width != spec.pc.width:
+                    yield self.finding(
+                        ctx, "assigns %d bits to the %d-bit pc"
+                        % (stmt.value.width, spec.pc.width),
+                        line=instr.line, instruction=instr.name)
+        for expr in iter_exprs(block):
+            if isinstance(expr, N.ReadReg):
+                want = storage_width(expr.regfile, expr.index)
+                if want is not None and expr.width != want:
+                    yield self.finding(
+                        ctx, "reads register %r (%d bits) at width %d"
+                        % (expr.regfile, want, expr.width),
+                        line=instr.line, instruction=instr.name)
+
+    def _check_access_sizes(self, ctx: LintContext, instr: A.InstrDecl,
+                            stmt: A.SStmt, wordsize: int
+                            ) -> Iterable[Finding]:
+        """Memory accesses wider than the architecture word are almost
+        always a spec typo (the engines would still execute them)."""
+        if isinstance(stmt, A.AStore) and 8 * stmt.size > wordsize:
+            yield self.finding(
+                ctx, "store of %d bytes exceeds the %d-bit word size"
+                % (stmt.size, wordsize), line=stmt.line,
+                instruction=instr.name, severity=WARN)
+        for expr in _walk_exprs(_stmt_exprs(stmt)):
+            if (isinstance(expr, A.SCall) and expr.name == "load"
+                    and len(expr.args) == 2
+                    and isinstance(expr.args[1], A.SLit)
+                    and 8 * expr.args[1].value > wordsize):
+                yield self.finding(
+                    ctx, "load of %d bytes exceeds the %d-bit word size"
+                    % (expr.args[1].value, wordsize), line=expr.line,
+                    instruction=instr.name, severity=WARN)
+        if isinstance(stmt, A.AIf):
+            for body in (stmt.then_body, stmt.else_body):
+                for inner in body:
+                    for finding in self._check_access_sizes(
+                            ctx, instr, inner, wordsize):
+                        yield finding
+
+
+def _walk_exprs(roots: Iterable[A.SExpr]) -> Iterable[A.SExpr]:
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(_expr_children(node))
+
+
+@register
+class UseBeforeDefPass(LintPass):
+    id = "use-before-def"
+    title = "locals must be defined on every path before use"
+    default_severity = ERROR
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        for instr in ctx.instructions():
+            declared = _declared_locals(instr.semantics)
+            if not declared:
+                continue
+            problems: List[Tuple[str, int]] = []
+            must_defined_walk(instr.semantics, set(declared), set(),
+                              problems)
+            seen: Set[Tuple[str, int]] = set()
+            for name, line in problems:
+                if (name, line) in seen:
+                    continue
+                seen.add((name, line))
+                yield self.finding(
+                    ctx, "local %r may be used before definition "
+                    "(declared at line %d on only some paths)"
+                    % (name, declared[name]),
+                    line=line or declared[name], instruction=instr.name)
+
+
+@register
+class DeadAssignmentPass(LintPass):
+    id = "dead-assignment"
+    title = "every local assignment should be read"
+    default_severity = WARN
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        for instr in ctx.instructions():
+            declared = _declared_locals(instr.semantics)
+            if not declared:
+                continue
+            used = ast_names_used(instr.semantics)
+            for name in sorted(declared):
+                if name not in used:
+                    yield self.finding(
+                        ctx, "local %r is assigned but never read "
+                        "(dead temporary)" % name,
+                        line=declared[name], instruction=instr.name)
+            for name, line in self._overwrites(instr.semantics, declared,
+                                               used):
+                yield self.finding(
+                    ctx, "value of local %r is overwritten before any "
+                    "read" % name, line=line, instruction=instr.name)
+
+    def _overwrites(self, stmts: Sequence[A.SStmt],
+                    declared: Dict[str, int], used: Set[str]
+                    ) -> Iterable[Tuple[str, int]]:
+        """Straight-line redefinition-before-read at one nesting level."""
+        pending: Dict[str, int] = {}
+        for stmt in stmts:
+            reads = {name for expr in _stmt_exprs(stmt)
+                     for name, _ in _expr_names(expr)}
+            for name in reads:
+                pending.pop(name, None)
+            if isinstance(stmt, A.AIf):
+                # A branch may read anything: drop pending writes that the
+                # branch bodies mention at all (conservative).
+                inner = ast_names_used(stmt.then_body) \
+                    | ast_names_used(stmt.else_body)
+                for name in inner:
+                    pending.pop(name, None)
+                continue
+            target: Optional[str] = None
+            line = stmt.line
+            if isinstance(stmt, A.ALocal):
+                target = stmt.name
+            elif isinstance(stmt, A.AAssign) \
+                    and isinstance(stmt.target, A.SName) \
+                    and stmt.target.name in declared:
+                target = stmt.target.name
+            if target is None:
+                continue
+            if target in pending and target in used:
+                yield target, pending[target]
+            pending[target] = line
+
+
+@register
+class ShadowedRulePass(LintPass):
+    id = "shadowed-rule"
+    title = "every rule must be reachable by the generated decoder"
+    default_severity = ERROR
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        for left, right, witness, prefix in overlapping_pairs(ctx.spec):
+            shadowed = self._subsumed(left, right, prefix, ctx.spec.endian)
+            if shadowed is None:
+                continue  # partial overlap: the SMT ambiguity pass owns it
+            winner = left if shadowed is right else right
+            if winner.pattern.length < shadowed.pattern.length:
+                how = ("the decoder tries %d-byte encodings first"
+                       % winner.pattern.length)
+            else:
+                how = "its fixed bits are a superset"
+            yield self.finding(
+                ctx, "rule %r is unreachable: every encoding also "
+                "matches %r (%s; witness word %#x)"
+                % (shadowed.name, winner.name, how, witness),
+                line=shadowed.line, instruction=shadowed.name,
+                witness=witness)
+
+    @staticmethod
+    def _subsumed(left: A.InstrDecl, right: A.InstrDecl, prefix: int,
+                  endian: str) -> Optional[A.InstrDecl]:
+        """Which of an overlapping pair (if either) can never decode.
+
+        ``b`` is subsumed by ``a`` when every word matching ``b``'s
+        pattern also matches ``a``'s over the fetch prefix *and* the
+        decoder would pick ``a`` (equal length, or ``a`` shorter —
+        shortest-first decode).  Prefers reporting the later declaration
+        as the shadowed one when both subsume each other (identical
+        patterns).
+        """
+        from ..adl.analyze import _fetch_prefix
+        mask_l, match_l = _fetch_prefix(left.pattern, prefix, endian)
+        mask_r, match_r = _fetch_prefix(right.pattern, prefix, endian)
+        l_covers_r = (mask_l & ~mask_r) == 0 \
+            and left.pattern.length <= right.pattern.length
+        r_covers_l = (mask_r & ~mask_l) == 0 \
+            and right.pattern.length <= left.pattern.length
+        if l_covers_r and r_covers_l:
+            return left if left.line > right.line else right
+        if l_covers_r:
+            return right
+        if r_covers_l:
+            return left
+        return None
+
+
+@register
+class SyntaxOperandPass(LintPass):
+    id = "syntax-operands"
+    title = "operands and placeholders agree with the encoding"
+    default_severity = WARN
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        for instr in ctx.instructions():
+            placeholders = {name for name, _ in
+                            syntax_placeholders(instr.syntax)}
+            used = ast_names_used(instr.semantics)
+            for operand in instr.operands:
+                if operand.name not in placeholders \
+                        and operand.name not in used:
+                    yield self.finding(
+                        ctx, "operand %r is declared but neither the "
+                        "syntax nor the semantics reference it"
+                        % operand.name,
+                        line=operand.line or instr.line,
+                        instruction=instr.name)
+            for field_name in sorted(set(instr.match) & used):
+                yield self.finding(
+                    ctx, "semantics read field %r, which 'match' fixes "
+                    "to %#x (constant fold intended?)"
+                    % (field_name, instr.match[field_name]),
+                    line=instr.line, instruction=instr.name,
+                    severity=INFO)
+
+
+@register
+class MissingPcUpdatePass(LintPass):
+    id = "missing-pc-update"
+    title = "branch-shaped rules must assign pc"
+    default_severity = ERROR
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        for instr in ctx.instructions():
+            pcrel = [op.name for op in instr.operands if op.pcrel]
+            if not pcrel:
+                continue
+            if self._assigns_pc(instr.semantics):
+                continue
+            yield self.finding(
+                ctx, "declares pc-relative operand%s %s but the "
+                "semantics never assign pc (branch without a branch)"
+                % ("" if len(pcrel) == 1 else "s", ", ".join(pcrel)),
+                line=instr.line, instruction=instr.name)
+
+    def _assigns_pc(self, stmts: Sequence[A.SStmt]) -> bool:
+        for stmt in stmts:
+            if isinstance(stmt, A.AAssign) \
+                    and isinstance(stmt.target, A.SName) \
+                    and stmt.target.name == "pc":
+                return True
+            if isinstance(stmt, A.AIf):
+                if self._assigns_pc(stmt.then_body) \
+                        or self._assigns_pc(stmt.else_body):
+                    return True
+        return False
+
+
+@register
+class FlagCompletenessPass(LintPass):
+    id = "flag-completeness"
+    title = "flag-writing rules update the whole flag class"
+    default_severity = WARN
+
+    def run(self, ctx: LintContext) -> Iterable[Finding]:
+        flags = set(ctx.flag_registers())
+        if not flags:
+            return
+        writes: Dict[str, Tuple[Set[str], Set[str]]] = {}
+        for instr in ctx.instructions():
+            may, must = self._flag_writes(instr.semantics, flags)
+            if may:
+                writes[instr.name] = (may, must)
+        if not writes:
+            return
+        #: The spec's flag class: every flag some instruction writes.
+        flag_class: Set[str] = set()
+        for may, _ in writes.values():
+            flag_class |= may
+        for instr in ctx.instructions():
+            if instr.name not in writes:
+                continue
+            may, must = writes[instr.name]
+            conditional = sorted(may - must)
+            if conditional:
+                yield self.finding(
+                    ctx, "flags %s are written on only some paths "
+                    "(stale flag values on the others)"
+                    % ", ".join(conditional),
+                    line=instr.line, instruction=instr.name)
+            missing = sorted(flag_class - may)
+            if missing:
+                yield self.finding(
+                    ctx, "writes flags %s but not %s (the spec's flag "
+                    "class is %s)"
+                    % (", ".join(sorted(may)), ", ".join(missing),
+                       ", ".join(sorted(flag_class))),
+                    line=instr.line, instruction=instr.name,
+                    severity=INFO)
+
+    def _flag_writes(self, stmts: Sequence[A.SStmt], flags: Set[str]
+                     ) -> Tuple[Set[str], Set[str]]:
+        """(may-write, must-write) flag sets of a semantics block."""
+        may: Set[str] = set()
+        must: Set[str] = set()
+        for stmt in stmts:
+            if isinstance(stmt, A.AAssign) \
+                    and isinstance(stmt.target, A.SName) \
+                    and stmt.target.name in flags:
+                may.add(stmt.target.name)
+                must.add(stmt.target.name)
+            elif isinstance(stmt, A.AIf):
+                then_may, then_must = self._flag_writes(stmt.then_body,
+                                                        flags)
+                else_may, else_must = self._flag_writes(stmt.else_body,
+                                                        flags)
+                may |= then_may | else_may
+                must |= then_must & else_must
+        return may, must

@@ -249,3 +249,78 @@ class TestBuiltinSpecs:
     def test_placeholders_helper(self):
         found = list(syntax_placeholders("add {rd:x}, {rs1:x}, {imm}"))
         assert found == [("rd", "x"), ("rs1", "x"), ("imm", None)]
+
+
+class TestAmbiguityDiagnostics:
+    """The ambiguity rejection is deterministic and actionable: every
+    overlapping pair is listed, sorted by name, with a witness word."""
+
+    AMBIG = GOOD_HEAD + """
+      instruction zmov {
+        encoding e
+        match op = 3, a = 0
+        syntax "zmov {b:r}"
+        semantics { r[b] = r[b]; }
+      }
+      instruction amov {
+        encoding e
+        match op = 3, b = 0
+        syntax "amov {a:r}"
+        semantics { r[a] = r[a]; }
+      }
+      instruction cmov {
+        encoding e
+        match op = 3, a = 1
+        syntax "cmov {b:r}"
+        semantics { r[b] = r[b]; }
+      }
+    """
+
+    def test_every_pair_listed_sorted_with_witness(self):
+        with pytest.raises(AdlSemanticError) as err:
+            analyze(_spec(self.AMBIG))
+        message = str(err.value)
+        # zmov/amov and amov/cmov overlap; zmov/cmov cannot (a=0 vs a=1).
+        assert "2 overlapping pairs" in message
+        assert message.index("amov/cmov") < message.index("amov/zmov")
+        assert "zmov/cmov" not in message
+        assert "witness word" in message
+
+    def test_witness_words_are_concrete_overlaps(self):
+        with pytest.raises(AdlSemanticError) as err:
+            analyze(_spec(self.AMBIG))
+        spec = analyze(_spec(self.AMBIG), check_ambiguity=False)
+        patterns = {i.name: i.pattern for i in spec.instructions}
+        import re
+        for left, right, word in re.findall(
+                r"(\w+)/(\w+) \(witness word (0x[0-9a-f]+)\)",
+                str(err.value)):
+            value = int(word, 16)
+            assert patterns[left].matches(value)
+            assert patterns[right].matches(value)
+
+    def test_message_stable_under_declaration_order(self):
+        def reorder(text):
+            # Move the last instruction block to the front.
+            blocks = text.split("instruction")
+            head, instrs = blocks[0], blocks[1:]
+            shuffled = [instrs[-1]] + instrs[:-1]
+            return head + "instruction" + "instruction".join(shuffled)
+
+        with pytest.raises(AdlSemanticError) as first:
+            analyze(_spec(self.AMBIG))
+        with pytest.raises(AdlSemanticError) as second:
+            analyze(_spec(reorder(self.AMBIG)))
+        strip = lambda s: str(s).split(": ", 1)[-1]  # drop line prefix
+        assert strip(first.value) == strip(second.value)
+
+    def test_check_ambiguity_false_skips_the_gate(self):
+        spec = analyze(_spec(self.AMBIG), check_ambiguity=False)
+        assert all(i.pattern is not None for i in spec.instructions)
+
+    def test_overlapping_pairs_helper(self):
+        from repro.adl.analyze import overlapping_pairs
+        spec = analyze(_spec(self.AMBIG), check_ambiguity=False)
+        pairs = [(left.name, right.name)
+                 for left, right, _, _ in overlapping_pairs(spec)]
+        assert pairs == [("amov", "cmov"), ("amov", "zmov")]

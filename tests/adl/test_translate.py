@@ -182,3 +182,42 @@ class TestInputDiscipline:
     def test_in_with_args_rejected(self):
         with pytest.raises(AdlSemanticError):
             _translate("local v:8 = in(1);")
+
+
+class TestIrValidationWiring:
+    """Every translated rule is IR-validated unless explicitly disabled
+    (the lint driver disables it so its ir-width pass owns reporting)."""
+
+    def test_enabled_by_default(self):
+        from repro.adl.translate import ir_validation_enabled
+        assert ir_validation_enabled()
+
+    def test_set_ir_validation_returns_previous(self):
+        from repro.adl.translate import (ir_validation_enabled,
+                                         set_ir_validation)
+        previous = set_ir_validation(False)
+        try:
+            assert previous is True
+            assert not ir_validation_enabled()
+        finally:
+            set_ir_validation(previous)
+        assert ir_validation_enabled()
+
+    def test_all_shipped_specs_validate_clean(self):
+        from repro.adl import builtin_spec_names, load_builtin_spec
+        from repro.ir import validate_block
+        for name in builtin_spec_names():
+            spec = load_builtin_spec(name)
+            for instr in spec.instructions:
+                # Raises AdlSemanticError on invalid IR (validation on).
+                block = translate_instruction(spec, instr)
+                validate_block(block)  # and the block really is valid
+
+    def test_translation_remains_usable_when_disabled(self):
+        from repro.adl.translate import set_ir_validation
+        previous = set_ir_validation(False)
+        try:
+            block = _translate("r[a] = r[b];")
+            assert block
+        finally:
+            set_ir_validation(previous)

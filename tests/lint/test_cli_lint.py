@@ -1,0 +1,120 @@
+"""``repro lint`` command-line behaviour: exit codes, formats, baseline
+workflow, telemetry hand-off to ``repro stats``."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+SPEC_DIR = os.path.join(os.path.dirname(__file__), "specs")
+
+
+def fixture(name):
+    return os.path.join(SPEC_DIR, name + ".adl")
+
+
+class TestExitCodes:
+    def test_clean_builtin_exits_zero(self, capsys):
+        assert main(["lint", "rv32"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip().splitlines()[-1].startswith("lint:")
+
+    def test_all_builtins_exit_zero(self, capsys):
+        assert main(["lint", "--all"]) == 0
+        assert "5 specs" in capsys.readouterr().out
+
+    def test_broken_fixture_exits_three(self, capsys):
+        assert main(["lint", fixture("ambiguous")]) == 3
+        out = capsys.readouterr().out
+        assert "smt-ambiguity" in out
+        assert "witness" in out
+
+    def test_warn_only_fixture_exits_zero(self, capsys):
+        assert main(["lint", fixture("dead_temp")]) == 0
+        assert "dead-assignment" in capsys.readouterr().out
+
+    def test_missing_spec_exits_two(self, capsys):
+        assert main(["lint"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_spec_exits_one(self, capsys):
+        assert main(["lint", "nonesuch"]) == 1
+        assert "nonesuch" in capsys.readouterr().err
+
+    def test_unknown_pass_exits_two(self, capsys):
+        assert main(["lint", "rv32", "--enable", "bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+
+class TestListPasses:
+    def test_lists_every_pass(self, capsys):
+        assert main(["lint", "--list-passes"]) == 0
+        out = capsys.readouterr().out
+        for pass_id in ("translation", "shadowed-rule", "smt-ambiguity",
+                        "smt-roundtrip"):
+            assert pass_id in out
+
+
+class TestFormats:
+    def test_json_to_file(self, tmp_path, capsys):
+        out_path = str(tmp_path / "report.json")
+        code = main(["lint", fixture("shadowed"), "--format", "json",
+                     "--out", out_path])
+        assert code == 3
+        with open(out_path) as handle:
+            data = json.load(handle)
+        assert data["format"] == "repro-lint"
+        assert data["counts"]["error"] > 0
+
+    def test_sarif_stdout(self, capsys):
+        code = main(["lint", fixture("missing_pc"), "--format", "sarif"])
+        assert code == 3
+        data = json.loads(capsys.readouterr().out)
+        assert data["version"] == "2.1.0"
+        assert data["runs"][0]["results"]
+
+    def test_timings_flag(self, capsys):
+        assert main(["lint", "vlx", "--timings"]) == 0
+        assert "pass timings" in capsys.readouterr().out
+
+
+class TestBaselineWorkflow:
+    def test_baseline_suppresses_and_exit_goes_green(self, tmp_path,
+                                                     capsys):
+        base = str(tmp_path / "baseline.json")
+        assert main(["lint", fixture("shadowed"),
+                     "--write-baseline", base]) == 3
+        capsys.readouterr()
+        assert main(["lint", fixture("shadowed"),
+                     "--baseline", base]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_new_error_still_gates(self, tmp_path, capsys):
+        base = str(tmp_path / "baseline.json")
+        assert main(["lint", fixture("clean"),
+                     "--write-baseline", base]) == 0
+        capsys.readouterr()
+        # Same baseline against a spec with real errors: still red.
+        assert main(["lint", fixture("ambiguous"),
+                     "--baseline", base]) == 3
+
+    def test_corrupt_baseline_exits_one(self, tmp_path, capsys):
+        base = tmp_path / "corrupt.json"
+        base.write_text("{}")
+        assert main(["lint", "rv32", "--baseline", str(base)]) == 1
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestTelemetry:
+    def test_stats_reads_lint_summary(self, tmp_path, capsys):
+        run_path = str(tmp_path / "lint.jsonl")
+        assert main(["lint", "--all", "--telemetry-out", run_path]) == 0
+        capsys.readouterr()
+        assert main(["stats", run_path]) == 0
+        out = capsys.readouterr().out
+        assert "lint summary:" in out
+        assert "lint.findings.error" in out
+        assert "lint.front-end" in out

@@ -1,0 +1,199 @@
+"""Each broken fixture spec fires its pass, at the right place.
+
+The fixtures under ``tests/lint/specs/`` each plant one class of bug;
+these tests assert the corresponding pass reports it with the expected
+severity, source line, and (for the proof passes) witness word.
+"""
+
+import os
+
+import pytest
+
+from repro.lint import ERROR, INFO, WARN, LintConfig, run_lint
+
+SPEC_DIR = os.path.join(os.path.dirname(__file__), "specs")
+
+
+def fixture(name):
+    return os.path.join(SPEC_DIR, name + ".adl")
+
+
+def lint_fixture(name, **config):
+    return run_lint(fixture(name), config=LintConfig(**config))
+
+
+def only(findings):
+    assert len(findings) == 1, findings
+    return findings[0]
+
+
+def by_pass(report, pass_id):
+    return [f for f in report.findings if f.pass_id == pass_id]
+
+
+class TestAmbiguousFixture:
+    def test_smt_ambiguity_fires_with_witness(self):
+        report = lint_fixture("ambiguous")
+        finding = only(by_pass(report, "smt-ambiguity"))
+        assert finding.severity == ERROR
+        assert "amb_a" in finding.message and "amb_b" in finding.message
+        # Witness: op byte 0x10, a = b = 0 -> fetched word 0x0010.
+        assert finding.witness == 0x0010
+        assert finding.path.endswith("ambiguous.adl")
+        assert finding.line > 0
+
+    def test_unrelated_rule_not_flagged(self):
+        report = lint_fixture("ambiguous")
+        for finding in report.findings:
+            assert finding.instruction != "unrelated"
+
+    def test_witness_word_matches_both_patterns(self):
+        report = lint_fixture("ambiguous")
+        finding = only(by_pass(report, "smt-ambiguity"))
+        from repro.adl import analyze, parse_spec
+        with open(fixture("ambiguous")) as handle:
+            spec = analyze(parse_spec(handle.read()),
+                           check_ambiguity=False)
+        patterns = {i.name: i.pattern for i in spec.instructions}
+        assert patterns["amb_a"].matches(finding.witness)
+        assert patterns["amb_b"].matches(finding.witness)
+
+    def test_exit_state_is_error(self):
+        report = lint_fixture("ambiguous")
+        assert report.errors()
+
+
+class TestDeadTempFixture:
+    def test_dead_temporary(self):
+        report = lint_fixture("dead_temp")
+        findings = by_pass(report, "dead-assignment")
+        dead = [f for f in findings if "dead temporary" in f.message]
+        finding = only(dead)
+        assert finding.severity == WARN
+        assert finding.instruction == "dead"
+        assert "'unused'" in finding.message
+        assert finding.line == 18  # the `local unused:16 = ...` line
+
+    def test_overwrite_before_read(self):
+        report = lint_fixture("dead_temp")
+        findings = by_pass(report, "dead-assignment")
+        clobbers = [f for f in findings if "overwritten" in f.message]
+        finding = only(clobbers)
+        assert finding.instruction == "clobber"
+        assert "'t'" in finding.message
+
+    def test_no_errors_only_warnings(self):
+        report = lint_fixture("dead_temp")
+        assert not report.errors()
+        assert report.by_severity()[WARN] == 2
+
+
+class TestWidthMismatchFixture:
+    def test_translation_rejects_narrow_store(self):
+        report = lint_fixture("width_mismatch")
+        finding = only(by_pass(report, "translation"))
+        assert finding.severity == ERROR
+        assert finding.instruction == "narrow"
+        assert "width 8" in finding.message
+        assert finding.line == 18
+
+    def test_wide_load_warning(self):
+        report = lint_fixture("width_mismatch")
+        finding = only(by_pass(report, "ir-width"))
+        assert finding.severity == WARN
+        assert finding.instruction == "wide_load"
+        assert "4 bytes" in finding.message
+
+    def test_other_passes_still_ran(self):
+        # Tolerant front end: translation failure of one rule must not
+        # stop the spec-level passes.
+        report = lint_fixture("width_mismatch")
+        assert "smt-completeness" in report.passes_run
+        assert by_pass(report, "smt-completeness")
+
+
+class TestMissingPcFixture:
+    def test_branch_without_branch(self):
+        report = lint_fixture("missing_pc")
+        finding = only(by_pass(report, "missing-pc-update"))
+        assert finding.severity == ERROR
+        assert finding.instruction == "bnop"
+        assert "boff" in finding.message
+        assert finding.line == 14
+
+    def test_real_branch_unflagged(self):
+        report = lint_fixture("missing_pc")
+        assert all(f.instruction != "br" for f in report.findings)
+
+
+class TestShadowedFixture:
+    def test_mask_subsumption(self):
+        report = lint_fixture("shadowed")
+        findings = by_pass(report, "shadowed-rule")
+        special = only([f for f in findings
+                        if f.instruction == "special"])
+        assert special.severity == ERROR
+        assert "generic" in special.message
+        assert special.witness == 0x10
+        assert special.line == 25
+
+    def test_shorter_rule_wins(self):
+        report = lint_fixture("shadowed")
+        findings = by_pass(report, "shadowed-rule")
+        longform = only([f for f in findings
+                         if f.instruction == "longform"])
+        assert "shortform" in longform.message
+        assert "1-byte" in longform.message
+        assert longform.witness == 0x20
+
+    def test_smt_ambiguity_defers_to_shadowed_rule(self):
+        # Fully subsumed pairs are shadowed-rule's; the SMT pass must
+        # not report them twice.
+        report = lint_fixture("shadowed")
+        assert not by_pass(report, "smt-ambiguity")
+
+    def test_roundtrip_also_catches_the_steal(self):
+        report = lint_fixture("shadowed")
+        stolen = [f for f in by_pass(report, "smt-roundtrip")
+                  if f.instruction == "longform"]
+        finding = only(stolen)
+        assert "shortform" in finding.message
+        assert finding.witness == 0x20
+
+
+class TestUseBeforeDefFixture:
+    def test_partial_definition_flagged(self):
+        report = lint_fixture("use_before_def")
+        finding = only(by_pass(report, "use-before-def"))
+        assert finding.severity == ERROR
+        assert finding.instruction == "maybe"
+        assert "'t'" in finding.message
+        assert finding.line == 22  # the `r[a] = t;` read
+
+    def test_both_paths_define_is_clean(self):
+        report = lint_fixture("use_before_def")
+        assert all(f.instruction != "bothpaths"
+                   for f in by_pass(report, "use-before-def"))
+
+
+class TestCleanFixture:
+    def test_no_errors_or_warnings(self):
+        report = lint_fixture("clean")
+        counts = report.by_severity()
+        assert counts[ERROR] == 0
+        assert counts[WARN] == 0
+
+    def test_info_observations_allowed(self):
+        # Spare opcode space is an observation, not a defect.
+        report = lint_fixture("clean")
+        assert all(f.severity == INFO for f in report.findings)
+
+
+@pytest.mark.parametrize("name", ["rv32", "mips32", "armlite", "pred32",
+                                  "vlx"])
+def test_shipped_specs_have_no_errors_or_warnings(name):
+    report = run_lint(name)
+    counts = report.by_severity()
+    assert counts[ERROR] == 0, report.errors()
+    assert counts[WARN] == 0, [f for f in report.findings
+                               if f.severity == WARN]
