@@ -1,0 +1,141 @@
+"""Run store dedup: store-hit vs re-exploration speedup.
+
+PR 6's content-addressed run store turns a repeated submission —
+identical spec, program, config, strategy and seed — into a manifest
+lookup plus a ``result.json`` load, skipping the engine entirely.  This
+benchmark quantifies that: each workload is recorded once (the miss,
+paying exploration + serialization), then resubmitted (the hit).
+
+The CI guard (``test_store_hit_speedup_guard`` / ``--check`` as a
+script) requires the hit to be **>= 5x faster** than the recorded miss
+on the aggregate workload.  The hit must also be *faithful*: same path
+count, defect kinds and coverage as the live result — a fast wrong
+answer fails the guard.
+"""
+
+import shutil
+import sys
+import tempfile
+
+from repro.core import EngineConfig
+from repro.programs import build_kernel
+from repro.runstore import RunStore, cached_explore
+
+from _util import print_table, timed, write_telemetry_sidecar
+
+# Workloads sized so the miss does real exploration work.
+WORKLOADS = [
+    ("maze", {"depth": 9}),
+    ("checksum", {"length": 5}),
+    ("exerciser", {}),
+]
+
+#: Required store-hit speedup over re-exploration (>= 5x).
+GUARD_SPEEDUP = 5.0
+
+
+def _submit(store, kernel, params):
+    model, image = build_kernel(kernel, "rv32", **params)
+    config = EngineConfig(collect_coverage=True)
+    return cached_explore(store, model, image, config)
+
+
+def measure(workloads=WORKLOADS):
+    """Rows of (kernel, miss_wall, hit_wall, live_result, hit_result)."""
+    rows = []
+    root = tempfile.mkdtemp(prefix="bench-store-")
+    try:
+        store = RunStore(root)
+        for kernel, params in workloads:
+            (live, _, hit_flag), miss_wall = timed(
+                _submit, store, kernel, params)
+            assert not hit_flag, kernel
+            (cached, _, hit_flag), hit_wall = timed(
+                _submit, store, kernel, params)
+            assert hit_flag, kernel
+            # Faithfulness: a fast wrong answer is no win.
+            assert len(cached.paths) == len(live.paths), kernel
+            assert [d.kind for d in cached.defects] == \
+                [d.kind for d in live.defects], kernel
+            assert cached.visited_pcs == live.visited_pcs, kernel
+            rows.append((kernel, miss_wall, hit_wall, live, cached))
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return rows
+
+
+def guard_speedup(rows=None):
+    """Aggregate hit speedup across the guard workloads."""
+    rows = measure() if rows is None else rows
+    miss_total = sum(row[1] for row in rows)
+    hit_total = sum(row[2] for row in rows)
+    return miss_total / hit_total
+
+
+def print_report(check=False):
+    rows = measure()
+    print_table(
+        "Run store: recorded miss vs content-addressed hit (rv32)",
+        ["kernel", "paths", "defects", "record (miss)", "hit",
+         "speedup"],
+        [[kernel, len(live.paths), len(live.defects),
+          "%.3fs" % miss_wall, "%.4fs" % hit_wall,
+          "%.1fx" % (miss_wall / hit_wall)]
+         for kernel, miss_wall, hit_wall, live, _ in rows])
+    speedup = guard_speedup(rows)
+    print("\nstore-hit guard speedup: %.1fx (required %.1fx)"
+          % (speedup, GUARD_SPEEDUP))
+    runs = [{"label": kernel,
+             "record_s": round(miss_wall, 4),
+             "hit_s": round(hit_wall, 4),
+             "telemetry": live.telemetry}
+            for kernel, miss_wall, hit_wall, live, _ in rows]
+    sidecar = write_telemetry_sidecar(__file__, runs,
+                                      guard_speedup=round(speedup, 2),
+                                      guard_required=GUARD_SPEEDUP)
+    print("telemetry sidecar: %s" % sidecar)
+    if check and speedup < GUARD_SPEEDUP:
+        print("FAIL: store-hit speedup %.1fx below the %.1fx guard"
+              % (speedup, GUARD_SPEEDUP))
+        return 1
+    return 0
+
+
+# -- pytest entry points ------------------------------------------------------
+
+def test_store_hit_speedup_guard():
+    """CI guard: the store hit is >= 5x faster than re-exploration.
+
+    Three attempts before failing: wall-clock guards on shared CI
+    runners are noisy, though the margin here is normally 100x+ (a
+    JSON load vs a full symbolic exploration).
+    """
+    best = 0.0
+    for _attempt in range(3):
+        best = max(best, guard_speedup())
+        if best >= GUARD_SPEEDUP:
+            break
+    assert best >= GUARD_SPEEDUP, (
+        "store-hit speedup %.1fx below the %.1fx guard"
+        % (best, GUARD_SPEEDUP))
+
+
+def test_bench_store_hit(benchmark):
+    root = tempfile.mkdtemp(prefix="bench-store-")
+    try:
+        store = RunStore(root)
+        _submit(store, "maze", {"depth": 9})        # record once
+
+        def hit():
+            result, _, hit_flag = _submit(store, "maze", {"depth": 9})
+            assert hit_flag
+            return result
+
+        result = benchmark(hit)
+        assert len(result.paths) > 0
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(print_report(check="--check" in sys.argv[1:]))

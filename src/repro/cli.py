@@ -62,6 +62,8 @@ from .isa.cfg import recover_cfg
 from .obs import (ExecutionTree, HealthConfig, JsonlSink, MetricsServer,
                   Obs, SpecCoverage, TelemetryError, compare_runs,
                   health_summary_line, load_run, render_prom_snapshot)
+from .runstore import (RunStore, RunStoreError, cached_explore,
+                       replay_run, spec_digest)
 
 __all__ = ["main"]
 
@@ -168,6 +170,16 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _parse_regions(args):
+    """``--region START:SIZE`` strings -> (start, size, track_uninit)."""
+    rows = []
+    for region in args.region or ():
+        start_text, _, size_text = region.partition(":")
+        rows.append((int(start_text, 0), int(size_text, 0),
+                     bool(args.uninit)))
+    return rows
+
+
 def cmd_explore(args) -> int:
     model, image = _load(args)
     # Observability: counters always; profiler with --profile (and with
@@ -178,7 +190,10 @@ def cmd_explore(args) -> int:
     obs = Obs(metrics=True, profile=want_profile or bool(telemetry_out))
     sink = None
     if telemetry_out:
-        sink = JsonlSink(telemetry_out)
+        sink = JsonlSink(telemetry_out,
+                         env={"argv": sys.argv[1:],
+                              "spec_digests": {model.name:
+                                               spec_digest(model)}})
         obs.add_sink(sink)
     # Health monitor: live sampler + watchdog (--health); tightening
     # flags imply it.
@@ -203,23 +218,50 @@ def cmd_explore(args) -> int:
         health=health,
         obs=obs,
     )
-    engine = Engine(model, config=config, strategy=args.strategy,
-                    seed=args.seed)
-    engine.load_image(image)
-    for region in args.region or ():
-        start_text, _, size_text = region.partition(":")
-        engine.add_region(int(start_text, 0), int(size_text, 0),
-                          track_uninit=args.uninit)
-    server = None
-    if args.serve_metrics is not None:
-        server = MetricsServer(obs.metrics, port=args.serve_metrics)
-        print("serving live metrics at %s" % server.url)
-    try:
-        result = engine.explore()
-    finally:
-        if server is not None:
-            server.close()
+    store_flag = getattr(args, "store", None)
+    engine = None
+    stored = None
+    store_hit = False
+    if store_flag is not None:
+        # Store-backed dedup: an identical submission (same spec,
+        # program, config, strategy, seed, regions) is answered from
+        # the content-addressed run store; a miss explores and records.
+        if (args.max_seconds is not None or want_health
+                or args.serve_metrics is not None):
+            sys.stderr.write(
+                "error: --store needs a deterministic run; drop "
+                "--max-seconds/--health/--serve-metrics (they make the "
+                "stop reason timing-dependent)\n")
+            return 1
+        try:
+            result, stored, store_hit = cached_explore(
+                RunStore(store_flag or None), model, image, config,
+                args.strategy, args.seed, _parse_regions(args),
+                argv=sys.argv[1:])
+        except RunStoreError as error:
+            sys.stderr.write("error: %s\n" % error)
+            return 1
+    else:
+        engine = Engine(model, config=config, strategy=args.strategy,
+                        seed=args.seed)
+        engine.load_image(image)
+        for start, size, track in _parse_regions(args):
+            engine.add_region(start, size, track_uninit=track)
+        server = None
+        if args.serve_metrics is not None:
+            server = MetricsServer(obs.metrics, port=args.serve_metrics)
+            print("serving live metrics at %s" % server.url)
+        try:
+            result = engine.explore()
+        finally:
+            if server is not None:
+                server.close()
     print(result.summary())
+    if stored is not None:
+        print("store: %s %s (%s)"
+              % ("hit" if store_hit else "recorded", stored.run_id,
+                 "cached result, zero new solver checks" if store_hit
+                 else stored.path))
     cache_line = result.solver_cache_line()
     if cache_line is not None:
         print(cache_line)
@@ -251,8 +293,141 @@ def cmd_explore(args) -> int:
         sink.write_meta(summary)
         obs.close()
         print("telemetry: %d events -> %s"
-              % (engine.obs.tracer.emitted, telemetry_out))
+              % (obs.tracer.emitted, telemetry_out))
     return 2 if result.defects else 0
+
+
+def cmd_record(args) -> int:
+    """Explore and persist into the content-addressed run store.
+
+    Deliberately excludes the timing-dependent explore flags
+    (``--max-seconds``, the health watchdog): a recorded run must stop
+    for deterministic reasons or replay verification is meaningless.
+    Exit codes mirror ``explore``: 2 when defects were found, else 0.
+    """
+    model, image = _load(args)
+    store = RunStore(args.store)
+    obs = Obs(metrics=True, profile=True)
+    config = EngineConfig(
+        max_steps_per_path=args.max_steps,
+        check_uninit=args.uninit,
+        check_tainted_control=args.taint,
+        merge_states=args.merge,
+        collect_coverage=True,
+        use_solver_cache=not args.no_solver_cache,
+        obs=obs,
+    )
+    try:
+        result, stored, hit = cached_explore(
+            store, model, image, config, args.strategy, args.seed,
+            _parse_regions(args), argv=sys.argv[1:], force=args.force,
+            warm_start=args.warm_start)
+    except RunStoreError as error:
+        sys.stderr.write("error: %s\n" % error)
+        return 1
+    print(result.summary())
+    for defect in result.defects:
+        print("defect: %-24s pc=%#x instr=%-8s input=%r"
+              % (defect.kind, defect.pc, defect.instruction,
+                 defect.input_bytes))
+    if hit:
+        print("store: hit %s (cached result, zero new solver checks)"
+              % stored.run_id)
+    else:
+        print("store: recorded %s -> %s" % (stored.run_id, stored.path))
+        warm = stored.manifest.get("warm_start")
+        if warm:
+            print("store: solver warm-started from %s (%d entries)"
+                  % (warm, stored.manifest.get("warm_loaded", 0)))
+    return 2 if result.defects else 0
+
+
+def cmd_replay(args) -> int:
+    """Re-execute a stored run; verify fingerprints bit-for-bit.
+
+    Exit 0 verified, 3 diverged (the report names the field), 1 the
+    run is missing/unreadable.
+    """
+    store = RunStore(args.store)
+    try:
+        report = replay_run(store, args.run_id, diff=args.diff)
+    except RunStoreError as error:
+        sys.stderr.write("error: %s\n" % error)
+        return 1
+    print(report.summary())
+    return report.exit_code
+
+
+def _format_age(created: float) -> str:
+    import time as _time
+    age = max(0.0, _time.time() - created)
+    if age < 3600:
+        return "%dm" % (age // 60)
+    if age < 86400:
+        return "%.1fh" % (age / 3600)
+    return "%.1fd" % (age / 86400)
+
+
+def cmd_runs(args) -> int:
+    """List, inspect (``--show``) or garbage-collect (``--gc``) the
+    run store."""
+    store = RunStore(args.store)
+    if args.show:
+        try:
+            run = store.get(args.show)
+        except RunStoreError as error:
+            sys.stderr.write("error: %s\n" % error)
+            return 1
+        if run is None:
+            sys.stderr.write("error: run %r is not in the store\n"
+                             % args.show)
+            return 1
+        manifest = run.manifest
+        print("run %s  (%s)" % (run.run_id, run.path))
+        print("  isa:      %s" % manifest.get("isa"))
+        print("  summary:  %s" % manifest.get("summary"))
+        for field, digest in sorted(
+                (manifest.get("key_digests") or {}).items()):
+            print("  %-9s %s" % (field + ":", digest))
+        for field, digest in sorted(run.fingerprints.items()):
+            print("  fp.%-6s %s" % (field + ":", digest))
+        if manifest.get("warm_start"):
+            print("  warm:     from %s (%s entries)"
+                  % (manifest["warm_start"],
+                     manifest.get("warm_loaded", 0)))
+        env = run.environment
+        for field in ("python", "implementation", "platform", "machine",
+                      "package_version", "git_sha"):
+            if field in env:
+                print("  %-9s %s" % (field + ":", env[field]))
+        if env.get("argv"):
+            print("  argv:     %s" % " ".join(env["argv"]))
+        return 0
+    if args.gc:
+        deleted = store.gc(keep=args.keep,
+                           older_than_days=args.older_than)
+        print("gc: deleted %d run%s%s"
+              % (len(deleted), "s" if len(deleted) != 1 else "",
+                 (" (" + ", ".join(run_id[:12] for run_id in deleted)
+                  + ")") if deleted else ""))
+        return 0
+    runs = store.list_runs()
+    if not runs:
+        print("store %s is empty (record with 'repro record' or "
+              "'repro explore --store')" % store.root)
+        return 0
+    print("%-32s %-8s %6s %6s %6s  %s"
+          % ("run", "isa", "age", "paths", "defect", "strategy"))
+    for run in runs:
+        manifest = run.manifest
+        counts = manifest.get("counts") or {}
+        key = manifest.get("key") or {}
+        print("%-32s %-8s %6s %6s %6s  %s"
+              % (run.run_id, manifest.get("isa", "?"),
+                 _format_age(run.created), counts.get("paths", "?"),
+                 counts.get("defects", "?"),
+                 (key.get("strategy", "?"))))
+    return 0
 
 
 def _open_run(path):
@@ -454,6 +629,53 @@ def _format_health_frame(sample, path: str) -> str:
     return "\n".join(lines)
 
 
+def _follow_gz(args) -> int:
+    """``repro top`` follow mode over a ``.jsonl.gz`` sidecar: re-read
+    the whole (compressed) file each poll until the run finishes."""
+    import time
+
+    redraw = sys.stdout.isatty()
+    frames = 0
+    last_seq = None
+    deadline = (time.monotonic() + args.max_wait
+                if args.max_wait is not None else None)
+    try:
+        while True:
+            try:
+                run = load_run(args.run)
+            except TelemetryError:
+                run = None
+            if run is not None:
+                health_events = run.events_of("health")
+                if health_events:
+                    sample = health_events[-1].data.get("sample") or {}
+                    if sample.get("seq") != last_seq:
+                        last_seq = sample.get("seq")
+                        if redraw:
+                            sys.stdout.write("\x1b[2J\x1b[H")
+                        print(_format_health_frame(sample, args.run))
+                        sys.stdout.flush()
+                        frames += 1
+                summary = run.run_summary()
+                if summary is not None:
+                    print("run finished: paths=%s defects=%s stop=%s"
+                          % (summary.get("paths"),
+                             summary.get("defects"),
+                             summary.get("stop_reason")))
+                    return 0
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    if frames == 0:
+        sys.stderr.write(
+            "error: %s carries no health events (run explore with "
+            "--health --telemetry-out?)\n" % args.run)
+        return 1
+    return 0
+
+
 def cmd_top(args) -> int:
     """Live (or ``--once``) TTY view of a run's ``health`` events."""
     import json
@@ -481,6 +703,10 @@ def cmd_top(args) -> int:
     # Follow mode: tail the JSONL file until the run_summary meta record
     # lands (the writer flushes after every health sample, so a live
     # exploration shows up here with at most one sample of latency).
+    # Gzip sidecars cannot be tailed incrementally (the stream is only
+    # complete once closed): poll with full re-reads instead.
+    if args.run.endswith(".gz"):
+        return _follow_gz(args)
     try:
         handle = open(args.run)
     except OSError as exc:
@@ -784,6 +1010,74 @@ def main(argv=None) -> int:
                          help="serve live Prometheus metrics on "
                               "127.0.0.1:PORT while exploring "
                               "(0 = pick a free port)")
+    explore.add_argument("--store", nargs="?", const="", default=None,
+                         metavar="DIR",
+                         help="answer identical submissions from the "
+                              "content-addressed run store (and record "
+                              "misses into it); DIR overrides "
+                              "~/.repro/store / $REPRO_STORE")
+
+    record = commands.add_parser(
+        "record",
+        help="symbolic execution persisted into the content-addressed "
+             "run store (replayable with 'repro replay')")
+    _add_common(record)
+    record.add_argument("--strategy", default="dfs",
+                        choices=["dfs", "bfs", "random", "coverage"])
+    record.add_argument("--seed", type=int, default=0)
+    record.add_argument("--merge", action="store_true",
+                        help="enable state merging (use with bfs)")
+    record.add_argument("--taint", action="store_true",
+                        help="report input-dependent jump targets")
+    record.add_argument("--uninit", action="store_true",
+                        help="track uninitialized reads in --region "
+                             "areas")
+    record.add_argument("--region", action="append",
+                        metavar="START:SIZE",
+                        help="map extra memory (repeatable)")
+    record.add_argument("--no-solver-cache", action="store_true",
+                        help="record without the solver query cache "
+                             "(ablation baseline)")
+    record.add_argument("--store", metavar="DIR", default=None,
+                        help="store root (default ~/.repro/store or "
+                             "$REPRO_STORE)")
+    record.add_argument("--force", action="store_true",
+                        help="re-explore even when the store already "
+                             "holds this run")
+    record.add_argument("--warm-start", metavar="RUN_ID", default=None,
+                        help="preload the solver cache from a stored "
+                             "run (recorded in the manifest so replay "
+                             "uses the same warm start)")
+
+    replay = commands.add_parser(
+        "replay",
+        help="re-execute a stored run and verify its tree/leaf/defect "
+             "fingerprints bit-for-bit (exit 3 on divergence)")
+    replay.add_argument("run_id", help="run id (or unique prefix) from "
+                                       "'repro runs'")
+    replay.add_argument("--store", metavar="DIR", default=None,
+                        help="store root (default ~/.repro/store or "
+                             "$REPRO_STORE)")
+    replay.add_argument("--diff", action="store_true",
+                        help="on divergence, locate the first "
+                             "diverging structural event")
+
+    runs = commands.add_parser(
+        "runs", help="list, inspect or garbage-collect the run store")
+    runs.add_argument("--store", metavar="DIR", default=None,
+                      help="store root (default ~/.repro/store or "
+                           "$REPRO_STORE)")
+    runs.add_argument("--show", metavar="RUN_ID", default=None,
+                      help="print one run's provenance (key digests, "
+                           "fingerprints, environment)")
+    runs.add_argument("--gc", action="store_true",
+                      help="delete runs per --keep / --older-than and "
+                           "sweep crashed recorders' temp dirs")
+    runs.add_argument("--keep", type=int, default=None, metavar="N",
+                      help="--gc: keep only the N newest runs")
+    runs.add_argument("--older-than", type=float, default=None,
+                      metavar="DAYS",
+                      help="--gc: delete runs older than DAYS")
 
     stats = commands.add_parser(
         "stats", help="pretty-print a saved --telemetry-out run")
@@ -890,6 +1184,7 @@ def main(argv=None) -> int:
         "stats": cmd_stats, "tree": cmd_tree, "speccov": cmd_speccov,
         "top": cmd_top, "metrics": cmd_metrics,
         "diffstats": cmd_diffstats, "lint": cmd_lint,
+        "record": cmd_record, "replay": cmd_replay, "runs": cmd_runs,
     }[args.command]
     return handler(args)
 

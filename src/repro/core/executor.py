@@ -132,6 +132,33 @@ class EngineConfig:
         # explicitly opts in.
         self.health = health
 
+    # Every field that shapes the exploration *outcome* — the run-store
+    # key material (repro.runstore).  ``obs`` and ``health`` are
+    # deliberately absent: observability must never change what a run
+    # computes, and serializing live handles makes no sense.
+    _SERIALIZED_FIELDS = (
+        "max_steps_per_path", "max_states", "max_paths", "max_defects",
+        "max_instructions", "max_wall_seconds", "max_fork_targets",
+        "max_visits_per_pc", "symbolic_read_window",
+        "max_address_values", "check_div_zero",
+        "div_check_respects_guards", "check_oob", "check_uninit",
+        "check_write_protect", "check_tainted_control", "merge_states",
+        "dedup_defects", "collect_path_inputs", "collect_coverage",
+        "cow_memory", "use_solver_cache")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able snapshot of every outcome-shaping field."""
+        return {name: getattr(self, name)
+                for name in self._SERIALIZED_FIELDS}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "EngineConfig":
+        """Rebuild a config from :meth:`to_dict` output.  Unknown keys
+        are ignored so newer stores replay on older code."""
+        known = {key: value for key, value in payload.items()
+                 if key in cls._SERIALIZED_FIELDS}
+        return cls(**known)
+
 
 class _Outcome:
     """Control effects accumulated while executing one IR block."""

@@ -61,6 +61,23 @@ class Defect:
         return "<Defect %s @ %#x (%s) input=%r>" % (
             self.kind, self.pc, self.instruction, self.input_bytes)
 
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "pc": self.pc,
+                "instruction": self.instruction,
+                "message": self.message,
+                "input": self.input_bytes.hex(),
+                "model": dict(self.model),
+                "state_id": self.state_id, "steps": self.steps}
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "Defect":
+        return cls(record["kind"], record["pc"],
+                   record.get("instruction", "?"),
+                   record.get("message", ""),
+                   bytes.fromhex(record.get("input", "") or ""),
+                   dict(record.get("model") or {}),
+                   record.get("state_id", -1), record.get("steps", 0))
+
 
 class PathResult:
     """One completed path (halt / depth limit)."""
@@ -75,6 +92,28 @@ class PathResult:
     def __repr__(self):
         return "<PathResult %s exit=%r input=%r>" % (
             self.status, self.exit_code, self.input_bytes)
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "status": self.status,
+            "input": self.input_bytes.hex(),
+            "exit_code": self.exit_code,
+        }
+        state_id = getattr(self.state, "state_id", None)
+        if state_id is not None:
+            record["state_id"] = state_id
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "PathResult":
+        # Live SymState objects are not persisted: a loaded path carries
+        # status/input/exit_code (what callers of a cached result use)
+        # with ``state`` left as None.
+        path = cls(record["status"], None,
+                   bytes.fromhex(record.get("input", "") or ""),
+                   record.get("exit_code"))
+        path.state_id = record.get("state_id")
+        return path
 
 
 class ExplorationResult:
@@ -97,6 +136,44 @@ class ExplorationResult:
         # Telemetry snapshot from the engine's Obs handle (repro.obs):
         # {"isa", "metrics", "phases", "solver", "events_emitted", ...}.
         self.telemetry: Dict[str, object] = {}
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able snapshot for the run store (``result.json``).
+
+        Everything except live :class:`SymState` handles round-trips;
+        loaded paths have ``state=None`` (see
+        :meth:`PathResult.from_dict`).
+        """
+        return {
+            "paths": [path.to_dict() for path in self.paths],
+            "defects": [defect.to_dict() for defect in self.defects],
+            "instructions_executed": self.instructions_executed,
+            "states_forked": self.states_forked,
+            "states_pruned": self.states_pruned,
+            "solver_stats": dict(self.solver_stats),
+            "wall_time": self.wall_time,
+            "stop_reason": self.stop_reason,
+            "visited_pcs": sorted(self.visited_pcs),
+            "telemetry": self.telemetry,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "ExplorationResult":
+        result = cls()
+        result.paths = [PathResult.from_dict(path)
+                        for path in record.get("paths", [])]
+        result.defects = [Defect.from_dict(defect)
+                          for defect in record.get("defects", [])]
+        result.instructions_executed = record.get(
+            "instructions_executed", 0)
+        result.states_forked = record.get("states_forked", 0)
+        result.states_pruned = record.get("states_pruned", 0)
+        result.solver_stats = dict(record.get("solver_stats") or {})
+        result.wall_time = record.get("wall_time", 0.0)
+        result.stop_reason = record.get("stop_reason", "exhausted")
+        result.visited_pcs = set(record.get("visited_pcs") or ())
+        result.telemetry = record.get("telemetry") or {}
+        return result
 
     def defects_by_kind(self) -> Dict[str, List[Defect]]:
         grouped: Dict[str, List[Defect]] = {}

@@ -40,6 +40,7 @@ from .events import (  # noqa: F401
     SOLVER_CACHE,
     SOLVER_CHECK,
     STEP,
+    STORE,
     WATCHDOG,
     Event,
     EventTracer,
@@ -95,7 +96,7 @@ __all__ = ["Obs", "MetricsRegistry", "Counter", "Gauge", "Histogram",
            "RunComparison", "DiffRow", "compare_runs", "extract_metrics",
            "STEP", "FORK", "MERGE", "SOLVER_CHECK", "SOLVER_CACHE",
            "PATH_END", "DEFECT", "DECODE_CACHE", "PRUNE", "HEALTH",
-           "WATCHDOG"]
+           "WATCHDOG", "STORE"]
 
 
 class Obs:

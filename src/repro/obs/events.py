@@ -25,19 +25,29 @@ Event kinds
                   :mod:`repro.obs.health`)
 ``watchdog``      a stall/pressure diagnosis (``diagnosis``, ``detail``,
                   optional ``action`` when degradation is enabled)
+``store``         a run-store dedup probe (``hit``, ``run_id`` payload):
+                  an identical submission answered from the
+                  content-addressed run store instead of re-exploring
+                  (see :mod:`repro.runstore`)
 
 Schema versioning
 -----------------
 :data:`SCHEMA_VERSION` names the wire format of a JSONL run file.
 Version 2 added the ``prune`` kind, per-edge branch condition summaries
 on ``fork`` events (``conds``, aligned with ``children``) and the
-``duplicate`` flag on ``merge`` events.  Version 3 (this release) adds
-the ``health`` and ``watchdog`` kinds emitted by the live health
-monitor.  All bumps are additive: readers of version-1/2 files keep
-working, and readers that dispatch on known kinds ignore the new ones
-(sinks, the flight recorder and ``repro stats`` are tolerant of unknown
-kinds by design; :func:`~repro.obs.sinks.load_run` warns — but still
-loads — when a file carries a *newer* schema than this reader).
+``duplicate`` flag on ``merge`` events.  Version 3 added the ``health``
+and ``watchdog`` kinds emitted by the live health monitor.  Version 4
+(this release) adds the ``store`` kind (a run-store dedup probe:
+``hit``, ``run_id`` payload; see :mod:`repro.runstore`) and an optional
+``env`` provenance block on the leading ``schema`` meta record (python
+version, platform, package version, spec digests — see
+:func:`repro.runstore.provenance.environment_snapshot`).  All bumps are
+additive: readers of version-1/2/3 files keep working — sidecars
+without the ``env`` block simply report no provenance — and readers
+that dispatch on known kinds ignore the new ones (sinks, the flight
+recorder and ``repro stats`` are tolerant of unknown kinds by design;
+:func:`~repro.obs.sinks.load_run` warns — but still loads — when a
+file carries a *newer* schema than this reader).
 """
 
 from __future__ import annotations
@@ -48,11 +58,11 @@ from typing import Dict, List, Optional
 __all__ = ["Event", "EventTracer", "EVENT_KINDS", "SCHEMA_VERSION",
            "STEP", "FORK", "MERGE", "SOLVER_CHECK", "SOLVER_CACHE",
            "PATH_END", "DEFECT", "DECODE_CACHE", "PRUNE", "HEALTH",
-           "WATCHDOG"]
+           "WATCHDOG", "STORE"]
 
 #: Wire-format version stamped into JSONL run files (a ``meta`` record
 #: written by :class:`~repro.obs.sinks.JsonlSink`).
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 STEP = "step"
 FORK = "fork"
@@ -65,9 +75,10 @@ DECODE_CACHE = "decode_cache"
 PRUNE = "prune"
 HEALTH = "health"
 WATCHDOG = "watchdog"
+STORE = "store"
 
 EVENT_KINDS = (STEP, FORK, MERGE, SOLVER_CHECK, SOLVER_CACHE, PATH_END,
-               DEFECT, DECODE_CACHE, PRUNE, HEALTH, WATCHDOG)
+               DEFECT, DECODE_CACHE, PRUNE, HEALTH, WATCHDOG, STORE)
 
 
 class Event:

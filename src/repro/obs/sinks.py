@@ -7,7 +7,10 @@ Three built-ins cover the main use cases:
 * :class:`JsonlSink` — one JSON object per line; the interchange format
   consumed by ``repro stats`` and the benchmark sidecars.  A JSONL run
   file is a stream of event records optionally followed by ``meta``
-  records (e.g. the end-of-run summary).
+  records (e.g. the end-of-run summary).  Paths ending in ``.gz`` are
+  transparently gzip-compressed, and every reader here
+  (:func:`load_run` / :func:`read_jsonl`) decompresses them the same
+  way, so ``--telemetry-out run.jsonl.gz`` just works end to end.
 * :class:`ConsoleSink` — human-readable live feed for debugging
   generated semantics.
 
@@ -16,13 +19,30 @@ Any object with ``emit(event)`` (and optional ``close()``) is a sink.
 
 from __future__ import annotations
 
+import gzip
 import io
 import json
 import os
+import zlib
 from collections import deque
 from typing import Dict, List, Optional, Tuple, Union
 
 from .events import SCHEMA_VERSION, Event
+
+
+def _open_text(path: str, mode: str):
+    """Open a sidecar path for text I/O, gunzipping ``.gz`` paths.
+
+    Read modes replace undecodable bytes (telemetry readers must never
+    traceback on a corrupt file); write modes are strict.
+    """
+    if path.endswith(".gz"):
+        if "r" in mode:
+            return gzip.open(path, "rt", errors="replace")
+        return gzip.open(path, mode + "t")
+    if "r" in mode:
+        return open(path, errors="replace")
+    return open(path, mode)
 
 __all__ = ["RingBufferSink", "JsonlSink", "ConsoleSink",
            "read_jsonl", "read_run", "load_run", "RunFile",
@@ -65,12 +85,24 @@ class RingBufferSink:
 
 
 class JsonlSink:
-    """Streams events as JSON lines to a path or a file-like object."""
+    """Streams events as JSON lines to a path or a file-like object.
+
+    A string target ending in ``.gz`` is written gzip-compressed (the
+    readers decompress transparently).  The leading ``schema`` meta
+    record carries an ``env`` provenance block — python version,
+    platform, package version (see
+    :func:`repro.runstore.provenance.environment_snapshot`) — which
+    callers can extend via ``env`` (e.g. the CLI adds the ADL spec
+    digest of the explored ISA).  Readers of older sidecars that lack
+    the block keep working: :meth:`RunFile.environment` just returns
+    an empty dict.
+    """
 
     def __init__(self, target: Union[str, io.TextIOBase],
-                 write_schema: bool = True):
+                 write_schema: bool = True,
+                 env: Optional[Dict[str, object]] = None):
         if isinstance(target, str):
-            self._handle = open(target, "w")
+            self._handle = _open_text(target, "w")
             self._owns_handle = True
         else:
             self._handle = target
@@ -78,8 +110,15 @@ class JsonlSink:
         self.written = 0
         if write_schema:
             # Version stamp first, so readers can dispatch on format.
+            # Lazy import: runstore depends on obs, not the other way
+            # around at module load time.
+            from ..runstore.provenance import environment_snapshot
+            block = environment_snapshot()
+            if env:
+                block.update(env)
             self.write_meta({"record": "schema",
-                             "version": SCHEMA_VERSION})
+                             "version": SCHEMA_VERSION,
+                             "env": block})
 
     def emit(self, event: Event) -> None:
         self._handle.write(json.dumps(event.to_dict(),
@@ -125,7 +164,7 @@ class ConsoleSink:
 def read_jsonl(path: str) -> List[Dict[str, object]]:
     """All records (events and meta) of a JSONL run file, as dicts."""
     records = []
-    with open(path) as handle:
+    with _open_text(path, "r") as handle:
         for line in handle:
             line = line.strip()
             if line:
@@ -168,6 +207,16 @@ class RunFile:
                 return record
         return None
 
+    def environment(self) -> Dict[str, object]:
+        """The ``env`` provenance block of the schema meta record
+        (python/platform/package/spec digests), or ``{}`` for sidecars
+        recorded before schema v4 — readers stay tolerant."""
+        for record in self.meta:
+            if record.get("record") == "schema":
+                env = record.get("env")
+                return dict(env) if isinstance(env, dict) else {}
+        return {}
+
 
 def load_run(path: str) -> RunFile:
     """Robustly load a telemetry JSONL run file.
@@ -189,7 +238,7 @@ def load_run(path: str) -> RunFile:
     bad_lines = 0
     total_lines = 0
     try:
-        with open(path, errors="replace") as handle:
+        with _open_text(path, "r") as handle:
             for number, line in enumerate(handle, 1):
                 line = line.strip()
                 if not line:
@@ -212,6 +261,14 @@ def load_run(path: str) -> RunFile:
     except OSError as exc:
         raise TelemetryError("cannot read telemetry file %s: %s"
                              % (path, exc.strerror or exc))
+    except (EOFError, zlib.error) as exc:
+        # A truncated/corrupt .gz stream (e.g. a killed writer): keep
+        # whatever decompressed cleanly, warn like a truncated line.
+        if total_lines == 0:
+            raise TelemetryError(
+                "cannot decompress telemetry file %s: %s" % (path, exc))
+        warnings.append("compressed stream ends early (%s); later "
+                        "events may be missing" % exc)
     if total_lines == 0:
         raise TelemetryError("telemetry file %s is empty (did the run "
                              "crash before emitting events?)" % path)

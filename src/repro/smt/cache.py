@@ -170,6 +170,61 @@ class QueryCache:
         if len(self._models) > self.model_probe:
             self._models.popitem(last=False)
 
+    # -- persistence ---------------------------------------------------------
+    #
+    # Cache keys are frozensets of *structural* term digests
+    # (terms.digest / terms.query_key): 16-byte blake2b hashes computed
+    # from operator + operands, independent of term ids or process.
+    # That makes the whole cache process-portable — the run store
+    # persists it alongside a recorded run so later explorations can
+    # warm-start (repro.runstore).
+
+    def save_state(self) -> Dict[str, object]:
+        """JSON-able snapshot of every decided query, unsat set and
+        recent model (evaluation memos are process-local and dropped)."""
+        return {
+            "version": 1,
+            "entries": [
+                {"key": sorted(digest.hex() for digest in key),
+                 "verdict": entry.verdict,
+                 "model": entry.model}
+                for key, entry in self._entries.items()],
+            "unsat_sets": [sorted(digest.hex() for digest in key)
+                           for key in self._unsat_sets],
+            "models": [model for model, _memo in self._models.values()],
+        }
+
+    def load_state(self, payload: Dict[str, object]) -> int:
+        """Merge a :meth:`save_state` snapshot into this cache; returns
+        the number of entries loaded.  Tolerant of malformed payloads
+        (a corrupt warm-start file degrades to a cold cache)."""
+        if not isinstance(payload, dict):
+            return 0
+        loaded = 0
+        for record in payload.get("entries") or ():
+            try:
+                key = frozenset(bytes.fromhex(digest)
+                                for digest in record["key"])
+                verdict = record["verdict"]
+                model = record.get("model")
+            except (KeyError, TypeError, ValueError):
+                continue
+            if verdict not in (SAT, UNSAT):
+                continue
+            self.store(key, verdict,
+                       model if isinstance(model, dict) else None)
+            loaded += 1
+        for row in payload.get("unsat_sets") or ():
+            try:
+                self._remember_unsat(frozenset(bytes.fromhex(digest)
+                                               for digest in row))
+            except (TypeError, ValueError):
+                continue
+        for model in payload.get("models") or ():
+            if isinstance(model, dict):
+                self._remember_model(model)
+        return loaded
+
     # -- maintenance ---------------------------------------------------------
 
     def clear(self) -> None:

@@ -14,7 +14,7 @@ from repro.obs.compare import DEFAULT_THRESHOLD
 
 
 def write_run(path, rates, wall_time=1.0, instructions=1000, paths=4,
-              defects=1, frontier=5):
+              defects=1, frontier=5, solver_checks=100):
     """Synthesize a minimal but realistic telemetry sidecar."""
     lines = [{"kind": "meta", "record": "schema", "version": 3}]
     for seq, rate in enumerate(rates):
@@ -30,7 +30,8 @@ def write_run(path, rates, wall_time=1.0, instructions=1000, paths=4,
         "paths": paths, "defects": defects,
         "instructions": instructions, "wall_time": wall_time,
         "stop_reason": "exhausted",
-        "telemetry": {"solver": {"checks": 100, "solve_time": 0.2,
+        "telemetry": {"solver": {"checks": solver_checks,
+                                 "solve_time": 0.2,
                                  "cache_hit_sat": 40},
                       "phases": {"solver": {"total_s": 0.2}}}})
     with open(path, "w") as handle:
@@ -139,3 +140,97 @@ class TestCompare:
                               load_run(other)).report()
         assert "REGRESSION" in report
         assert "regressions:" in report
+
+
+class TestEdgeCases:
+    """Boundary semantics: exact threshold, one-sided metrics, zero
+    baselines.  None of these may traceback; each must flag (or not)
+    per the documented rules."""
+
+    def test_regression_exactly_at_threshold_is_flagged(
+            self, baseline, tmp_path):
+        # 25% slower, with every division exact in binary floating
+        # point: worse == threshold must still flag (>=, not >).
+        other = write_run(tmp_path / "edge.jsonl",
+                          [750.0, 825.0, 787.5])
+        comparison = compare_runs(load_run(baseline), load_run(other),
+                                  threshold=0.25)
+        row = {r.name: r for r in
+               comparison.rows}["health.steps_per_sec.mean"]
+        assert row.delta_ratio == 0.25
+        assert row.flag == "regression"
+
+    def test_just_under_threshold_is_ok(self, baseline, tmp_path):
+        other = write_run(tmp_path / "under.jsonl",
+                          [750.0, 825.0, 787.5])
+        comparison = compare_runs(load_run(baseline), load_run(other),
+                                  threshold=0.2500001)
+        row = {r.name: r for r in
+               comparison.rows}["health.steps_per_sec.mean"]
+        assert row.flag == "ok"
+
+    def test_metric_missing_from_baseline_is_new(self, tmp_path):
+        a = write_run(tmp_path / "a.jsonl", rates=[])
+        b = write_run(tmp_path / "b.jsonl", [1000.0])
+        comparison = compare_runs(load_run(a), load_run(b))
+        row = {r.name: r for r in
+               comparison.rows}["health.steps_per_sec.mean"]
+        assert row.flag == "new"
+        assert row.delta_ratio is None
+        assert row.name not in {r.name for r in comparison.regressions}
+        assert "NEW" in comparison.report()
+
+    def test_metric_missing_from_candidate_is_gone(self, baseline,
+                                                   tmp_path):
+        other = write_run(tmp_path / "b.jsonl", rates=[])
+        comparison = compare_runs(load_run(baseline), load_run(other))
+        row = {r.name: r for r in
+               comparison.rows}["health.steps_per_sec.mean"]
+        assert row.flag == "gone"
+        assert row.delta_ratio is None
+        assert "GONE" in comparison.report()
+
+    def test_zero_baseline_is_changed_not_divided(self, tmp_path):
+        a = write_run(tmp_path / "a.jsonl", [1000.0], solver_checks=0)
+        b = write_run(tmp_path / "b.jsonl", [1000.0], solver_checks=50)
+        comparison = compare_runs(load_run(a), load_run(b))
+        row = {r.name: r for r in comparison.rows}["solver.checks"]
+        assert row.flag == "changed"
+        assert row.delta_ratio is None
+        assert row.name not in {r.name for r in comparison.regressions}
+        # report() must render the zero-baseline row as "-", not raise
+        # ZeroDivisionError.
+        line = next(l for l in comparison.report().splitlines()
+                    if l.strip().startswith("solver.checks "))
+        assert "CHANGED" in line
+
+    def test_zero_on_both_sides_is_ok(self, tmp_path):
+        a = write_run(tmp_path / "a.jsonl", [1000.0], solver_checks=0)
+        b = write_run(tmp_path / "b.jsonl", [1000.0], solver_checks=0)
+        comparison = compare_runs(load_run(a), load_run(b))
+        row = {r.name: r for r in comparison.rows}["solver.checks"]
+        assert row.flag == "ok"
+        assert row.delta_ratio is None
+
+
+class TestDiffstatsCli:
+    def test_exit_3_on_regression(self, baseline, tmp_path, capsys):
+        from repro.cli import main
+        other = write_run(tmp_path / "slow.jsonl",
+                          [700.0, 770.0, 735.0])
+        assert main(["diffstats", baseline, other]) == 3
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_exit_0_when_clean(self, baseline, tmp_path, capsys):
+        from repro.cli import main
+        other = write_run(tmp_path / "same.jsonl",
+                          [1000.0, 1100.0, 1050.0])
+        assert main(["diffstats", baseline, other]) == 0
+
+    def test_zero_baseline_exits_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+        a = write_run(tmp_path / "a.jsonl", [1000.0], solver_checks=0)
+        b = write_run(tmp_path / "b.jsonl", [1000.0], solver_checks=75)
+        assert main(["diffstats", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "CHANGED" in out and "Traceback" not in out

@@ -1,0 +1,108 @@
+"""Gzip-compressed sidecars and the schema-v4 ``env`` provenance block.
+
+PR 6 satellites: ``.jsonl.gz`` targets round-trip through the same
+writer/reader pair as plain JSONL, the schema meta record carries an
+environment snapshot, and readers stay tolerant of pre-v4 sidecars and
+truncated compressed streams.
+"""
+
+import gzip
+import json
+
+import pytest
+
+from repro.obs.events import EventTracer
+from repro.obs.sinks import JsonlSink, TelemetryError, load_run, read_run
+from repro.obs.tree import ExecutionTree
+
+
+def emit_demo(path, count=3, env=None):
+    sink = JsonlSink(str(path), env=env)
+    tracer = EventTracer(isa="rv32")
+    tracer.add_sink(sink)
+    for index in range(count):
+        tracer.emit("step", state_id=0, pc=0x1000 + 4 * index,
+                    instr="addi")
+    tracer.emit("path_end", state_id=0, pc=0x1000 + 4 * count,
+                status="halted", exit_code=0)
+    sink.write_meta({"record": "run_summary", "paths": 1, "defects": 0,
+                     "wall_time": 0.5, "instructions": count})
+    sink.close()
+    return str(path)
+
+
+class TestGzipSidecars:
+    def test_gz_target_is_actually_compressed(self, tmp_path):
+        path = emit_demo(tmp_path / "run.jsonl.gz")
+        with open(path, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"   # gzip magic
+
+    def test_gz_round_trip_matches_plain(self, tmp_path):
+        plain = emit_demo(tmp_path / "run.jsonl")
+        packed = emit_demo(tmp_path / "run.jsonl.gz")
+        run_a, run_b = load_run(plain), load_run(packed)
+        assert [e.kind for e in run_a.events] == \
+            [e.kind for e in run_b.events]
+        assert [e.pc for e in run_a.events] == \
+            [e.pc for e in run_b.events]
+        assert run_b.run_summary()["paths"] == 1
+
+    def test_readers_work_on_gz(self, tmp_path):
+        path = emit_demo(tmp_path / "run.jsonl.gz")
+        events, meta = read_run(path)
+        assert len(events) == 4
+        tree = ExecutionTree.from_events(load_run(path).events)
+        assert tree.nodes
+
+    def test_truncated_gz_keeps_prefix_with_warning(self, tmp_path):
+        path = emit_demo(tmp_path / "big.jsonl.gz", count=500)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[:len(blob) // 2])
+        run = load_run(path)
+        assert run.warnings            # stream-ends-early or bad line
+        assert 0 < len(run.events) < 501
+
+    def test_unreadable_gz_is_one_line_error(self, tmp_path):
+        path = tmp_path / "dead.jsonl.gz"
+        path.write_bytes(b"\x1f\x8b\x08\x00\x00\x00\x00\x00\x00\x03")
+        with pytest.raises(TelemetryError):
+            load_run(str(path))
+
+
+class TestEnvProvenance:
+    def test_schema_meta_carries_env_block(self, tmp_path):
+        run = load_run(emit_demo(tmp_path / "run.jsonl"))
+        env = run.environment()
+        assert env["python"]
+        assert env["platform"]
+        assert env["package"] == "repro"
+
+    def test_caller_env_merges_into_block(self, tmp_path):
+        run = load_run(emit_demo(
+            tmp_path / "run.jsonl",
+            env={"argv": ["explore", "rv32"],
+                 "spec_digests": {"rv32": "sha256:abc"}}))
+        env = run.environment()
+        assert env["argv"] == ["explore", "rv32"]
+        assert env["spec_digests"] == {"rv32": "sha256:abc"}
+        assert env["python"]            # defaults survive the merge
+
+    def test_pre_v4_sidecar_tolerated(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        lines = [{"kind": "meta", "record": "schema", "version": 3},
+                 {"v": 1, "kind": "step", "ts": 0.0, "isa": "rv32",
+                  "state_id": 0, "pc": 4096, "data": {}}]
+        path.write_text("".join(json.dumps(l) + "\n" for l in lines))
+        run = load_run(str(path))
+        assert run.environment() == {}
+        assert len(run.events) == 1
+
+    def test_env_block_survives_gzip(self, tmp_path):
+        path = emit_demo(tmp_path / "run.jsonl.gz")
+        with gzip.open(path, "rt") as handle:
+            first = json.loads(handle.readline())
+        assert first["record"] == "schema"
+        assert "env" in first
+        assert load_run(path).environment()["python"]

@@ -1,0 +1,150 @@
+"""CLI surface of the run store: record / replay / runs / explore --store."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.programs.kernels import exerciser
+from repro.programs.portable import lower
+
+DEMO = """
+.org 0x1000
+.entry start
+start:
+    inb x1
+    addi x2, x0, 7
+    divu x3, x2, x1
+    outb x3
+    halt 0
+"""
+
+
+@pytest.fixture
+def demo_file(tmp_path):
+    path = tmp_path / "demo.s"
+    path.write_text(DEMO)
+    return str(path)
+
+
+@pytest.fixture
+def exerciser_file(tmp_path):
+    path = tmp_path / "exerciser.s"
+    path.write_text(lower(exerciser(), "rv32"))
+    return str(path)
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    return str(tmp_path / "store")
+
+
+def only_run_id(store_dir):
+    runs = os.listdir(os.path.join(store_dir, "runs"))
+    assert len(runs) == 1
+    return runs[0]
+
+
+class TestRecord:
+    def test_record_then_replay_exit_0(self, exerciser_file, store_dir,
+                                       capsys):
+        assert main(["record", "rv32", exerciser_file,
+                     "--store", store_dir]) == 2   # defect kernel
+        out = capsys.readouterr().out
+        assert "store: recorded" in out
+        run_id = only_run_id(store_dir)
+        assert main(["replay", run_id, "--store", store_dir]) == 0
+        assert "VERIFIED" in capsys.readouterr().out
+
+    def test_second_record_hits(self, demo_file, store_dir, capsys):
+        assert main(["record", "rv32", demo_file,
+                     "--store", store_dir]) == 2
+        capsys.readouterr()
+        assert main(["record", "rv32", demo_file,
+                     "--store", store_dir]) == 2
+        assert "store: hit" in capsys.readouterr().out
+
+    def test_warm_start_flag(self, demo_file, store_dir, capsys):
+        main(["record", "rv32", demo_file, "--store", store_dir])
+        source = only_run_id(store_dir)
+        capsys.readouterr()
+        assert main(["record", "rv32", demo_file, "--store", store_dir,
+                     "--seed", "4", "--warm-start", source[:8]]) == 2
+        assert "warm-started from %s" % source in \
+            capsys.readouterr().out
+
+
+class TestReplayCli:
+    def test_tampered_config_exits_3(self, demo_file, store_dir,
+                                     capsys):
+        main(["record", "rv32", demo_file, "--store", store_dir])
+        run_id = only_run_id(store_dir)
+        manifest_path = os.path.join(store_dir, "runs", run_id,
+                                     "manifest.json")
+        manifest = json.load(open(manifest_path))
+        manifest["key"]["config"]["max_steps_per_path"] = 1
+        json.dump(manifest, open(manifest_path, "w"))
+        capsys.readouterr()
+        assert main(["replay", run_id, "--store", store_dir,
+                     "--diff"]) == 3
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out and "key_digests.config" in out
+
+    def test_unknown_run_exits_1(self, store_dir, capsys):
+        assert main(["replay", "beefbeef", "--store", store_dir]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRunsCli:
+    def test_list_and_show(self, demo_file, store_dir, capsys):
+        main(["record", "rv32", demo_file, "--store", store_dir])
+        run_id = only_run_id(store_dir)
+        capsys.readouterr()
+        assert main(["runs", "--store", store_dir]) == 0
+        assert run_id in capsys.readouterr().out
+        assert main(["runs", "--store", store_dir,
+                     "--show", run_id[:8]]) == 0
+        out = capsys.readouterr().out
+        assert "fp.tree" in out and "python:" in out
+
+    def test_empty_store(self, store_dir, capsys):
+        assert main(["runs", "--store", store_dir]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_gc_keep(self, demo_file, store_dir, capsys):
+        main(["record", "rv32", demo_file, "--store", store_dir])
+        main(["record", "rv32", demo_file, "--store", store_dir,
+              "--seed", "1"])
+        capsys.readouterr()
+        assert main(["runs", "--store", store_dir, "--gc",
+                     "--keep", "1"]) == 0
+        assert "deleted 1 run" in capsys.readouterr().out
+
+
+class TestExploreStore:
+    def test_explore_store_dedup(self, demo_file, store_dir, capsys):
+        assert main(["explore", "rv32", demo_file,
+                     "--store", store_dir]) == 2
+        first = capsys.readouterr().out
+        assert "store: recorded" in first
+        assert main(["explore", "rv32", demo_file,
+                     "--store", store_dir]) == 2
+        second = capsys.readouterr().out
+        assert "store: hit" in second
+        # The cached result still feeds the coverage report.
+        assert "coverage:" in second
+
+    def test_store_rejects_timing_dependent_flags(self, demo_file,
+                                                  store_dir, capsys):
+        assert main(["explore", "rv32", demo_file, "--store", store_dir,
+                     "--max-seconds", "5"]) == 1
+        assert "deterministic" in capsys.readouterr().err
+
+    def test_store_env_override(self, demo_file, tmp_path, monkeypatch,
+                                capsys):
+        env_store = tmp_path / "envstore"
+        monkeypatch.setenv("REPRO_STORE", str(env_store))
+        # bare --store (no DIR) resolves via $REPRO_STORE
+        assert main(["explore", "rv32", demo_file, "--store"]) == 2
+        assert (env_store / "runs").exists()

@@ -1,0 +1,95 @@
+"""Canonical fingerprints: state-id remapping, stream digests, diffing.
+
+The pin everything else rests on: two identical explorations run at
+different points of a process lifetime (different raw state ids,
+different timestamps) must produce IDENTICAL canonical fingerprints.
+"""
+
+from repro.obs.events import Event
+from repro.runstore import (STRUCTURAL_KINDS, canonical_events,
+                            defects_fingerprint, first_divergence,
+                            leaves_fingerprint, tree_fingerprint)
+
+
+def stream(offset=0, ts=0.0):
+    """A small fork/merge/defect stream with ids shifted by ``offset``."""
+    o = offset
+    return [
+        Event("step", "rv32", 0 + o, 0x1000, ts + 0.1),
+        Event("fork", "rv32", 0 + o, 0x1004, ts + 0.2,
+              {"children": [1 + o, 2 + o], "conds": ["x1==0", "x1!=0"]}),
+        Event("step", "rv32", 1 + o, 0x1008, ts + 0.3),
+        Event("solver_check", "rv32", 1 + o, 0x1008, ts + 0.31,
+              {"result": "sat", "ms": 1.5}),
+        Event("defect", "rv32", 1 + o, 0x1008, ts + 0.4,
+              {"defect_kind": "division-by-zero"}),
+        Event("path_end", "rv32", 1 + o, 0x100c, ts + 0.5,
+              {"status": "halted", "exit_code": 0}),
+        Event("prune", "rv32", 2 + o, 0x1010, ts + 0.6,
+              {"reason": "max-states", "parent": 0 + o}),
+    ]
+
+
+class TestCanonicalEvents:
+    def test_ids_remapped_to_first_appearance_order(self):
+        canon = canonical_events(stream(offset=57))
+        assert [e.state_id for e in canon] == [0, 0, 1, 1, 1, 2]
+
+    def test_payload_ids_remapped_too(self):
+        canon = canonical_events(stream(offset=57))
+        fork = next(e for e in canon if e.kind == "fork")
+        assert fork.data["children"] == [1, 2]
+        prune = next(e for e in canon if e.kind == "prune")
+        assert prune.data["parent"] == 0
+
+    def test_timestamps_zeroed_and_timing_kinds_dropped(self):
+        canon = canonical_events(stream())
+        assert all(e.ts == 0.0 for e in canon)
+        assert all(e.kind in STRUCTURAL_KINDS for e in canon)
+        assert not any(e.kind == "solver_check" for e in canon)
+
+    def test_shifted_streams_are_canonically_equal(self):
+        assert canonical_events(stream(offset=0, ts=0.0)) == \
+            canonical_events(stream(offset=99, ts=1234.5))
+
+
+class TestFingerprints:
+    def test_tree_fingerprint_invariant_under_id_shift(self):
+        assert tree_fingerprint(stream(offset=0)) == \
+            tree_fingerprint(stream(offset=1000, ts=50.0))
+
+    def test_tree_fingerprint_sensitive_to_structure(self):
+        mutated = stream()
+        mutated[-1].data = {"reason": "trap", "parent": 0}
+        assert tree_fingerprint(stream()) != tree_fingerprint(mutated)
+
+    def test_leaves_fingerprint_order_and_content(self):
+        paths = [{"status": "halted", "exit_code": 0, "input": "2a"},
+                 {"status": "depth-limit", "exit_code": None,
+                  "input": ""}]
+        assert leaves_fingerprint(paths) == leaves_fingerprint(paths)
+        assert leaves_fingerprint(paths) != \
+            leaves_fingerprint(list(reversed(paths)))
+
+    def test_defects_fingerprint_sensitive_to_site(self):
+        base = [{"kind": "division-by-zero", "pc": 0x1008,
+                 "instruction": "divu", "message": "m", "input": "00"}]
+        moved = [dict(base[0], pc=0x100c)]
+        assert defects_fingerprint(base) != defects_fingerprint(moved)
+
+
+class TestFirstDivergence:
+    def test_identical_streams_have_none(self):
+        assert first_divergence(stream(), stream(offset=31)) is None
+
+    def test_locates_first_differing_event(self):
+        mutated = stream(offset=5)
+        mutated[2] = Event("step", "rv32", 6, 0x9999, 0.3)
+        index, left, right = first_divergence(stream(), mutated)
+        assert index == 2
+        assert left.pc == 0x1008 and right.pc == 0x9999
+
+    def test_reports_early_stream_end(self):
+        index, left, right = first_divergence(stream(), stream()[:-1])
+        assert index == len(canonical_events(stream())) - 1
+        assert left is not None and right is None
