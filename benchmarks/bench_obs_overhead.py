@@ -22,10 +22,11 @@ import sys
 import time
 
 from repro.core import Engine, EngineConfig
-from repro.obs import FlightRecorder, HealthConfig, Obs
+from repro.obs import AttrConfig, FlightRecorder, HealthConfig, Obs
 from repro.programs import build_kernel
 
 MAX_OVERHEAD = 0.15     # counters (and +health) must cost < 15% vs. disabled
+MAX_ATTR_OVERHEAD = 0.20  # sampled cost attribution must cost < 20%
 REPEATS = 5             # best-of to suppress scheduler noise
 WORKLOAD = ("maze", {"depth": 6, "solution": 0b101100})
 
@@ -39,11 +40,12 @@ def _recording() -> Obs:
     return obs
 
 
-def run_once(obs_factory, health_factory=None) -> float:
+def run_once(obs_factory, health_factory=None, attr_factory=None) -> float:
     model, image = build_kernel(WORKLOAD[0], "rv32", **WORKLOAD[1])
     health = health_factory() if health_factory is not None else None
+    attr = attr_factory() if attr_factory is not None else None
     config = EngineConfig(collect_path_inputs=False, obs=obs_factory(),
-                          health=health)
+                          health=health, attr=attr)
     engine = Engine(model, config=config)
     engine.load_image(image)
     start = time.perf_counter()
@@ -53,9 +55,9 @@ def run_once(obs_factory, health_factory=None) -> float:
     return elapsed
 
 
-def best_of(obs_factory, health_factory=None,
+def best_of(obs_factory, health_factory=None, attr_factory=None,
             repeats: int = REPEATS) -> float:
-    return min(run_once(obs_factory, health_factory)
+    return min(run_once(obs_factory, health_factory, attr_factory)
                for _ in range(repeats))
 
 
@@ -71,9 +73,15 @@ def main(argv) -> int:
     # guarded alongside the counters — a monitored run must stay cheap
     # enough to leave on in CI.
     monitored = best_of(Obs.default, HealthConfig)
+    # Sampled cost attribution at its default cadence (deep-probe every
+    # 16th step): guarded under its own, looser, budget — attribution
+    # adds two clock reads to every step by design.
+    attributed = best_of(Obs.default, attr_factory=AttrConfig)
     overhead = (counters - disabled) / disabled if disabled else 0.0
     health_overhead = ((monitored - disabled) / disabled
                        if disabled else 0.0)
+    attr_overhead = ((attributed - disabled) / disabled
+                     if disabled else 0.0)
     print("== telemetry overhead (best of %d, maze depth=%d) =="
           % (REPEATS, WORKLOAD[1]["depth"]))
     print("disabled:          %8.4fs" % disabled)
@@ -83,6 +91,8 @@ def main(argv) -> int:
           % (monitored, 100 * health_overhead))
     print("counters+profiler: %8.4fs  (%+.1f%%)"
           % (profiled, 100 * (profiled - disabled) / disabled))
+    print("counters+attr:     %8.4fs  (%+.1f%%)"
+          % (attributed, 100 * attr_overhead))
     print("counters+recorder: %8.4fs  (%+.1f%%)  [opt-in, not guarded]"
           % (recording, 100 * (recording - disabled) / disabled))
     if report_only:
@@ -96,12 +106,17 @@ def main(argv) -> int:
         print("FAIL: health monitor overhead %.1f%% >= %.0f%% budget"
               % (100 * health_overhead, 100 * MAX_OVERHEAD))
         failed = True
+    if attr_overhead >= MAX_ATTR_OVERHEAD:
+        print("FAIL: sampled attribution overhead %.1f%% >= %.0f%% "
+              "budget" % (100 * attr_overhead, 100 * MAX_ATTR_OVERHEAD))
+        failed = True
     if failed:
         return 1
     print("OK: default telemetry %.1f%%, health monitor %.1f%% "
-          "< %.0f%% budget"
+          "< %.0f%% budget; sampled attribution %.1f%% < %.0f%% budget"
           % (100 * overhead, 100 * health_overhead,
-             100 * MAX_OVERHEAD))
+             100 * MAX_OVERHEAD, 100 * attr_overhead,
+             100 * MAX_ATTR_OVERHEAD))
     return 0
 
 

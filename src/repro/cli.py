@@ -10,6 +10,12 @@ Subcommands::
     explore <isa> <file.s>      symbolic execution; report paths + defects
     cfg   <isa> <file.s>        recover and print the control-flow graph
     stats <run.jsonl>           pretty-print a saved telemetry run
+    hot <run.jsonl|run-id>      cost-attribution views: hottest ADL
+                                rules / IR kinds / branch sites,
+                                spec heat maps (``--annotate``),
+                                flamegraphs (``--flame``), Chrome
+                                traces (``--trace``); needs ``--attr``
+                                at explore/record time
     tree  <run.jsonl>           reconstruct the execution tree of a run
                                 (``--format ascii|dot|json``, ``--out``)
     speccov <run.jsonl>         ADL spec coverage of a run — which
@@ -37,7 +43,9 @@ Common options: ``--input TEXT`` (program input; ``\\xNN`` escapes),
 ``--max-seconds`` (wall-clock deadline, honest ``deadline`` stop
 reason), plus the observability flags ``--telemetry-out FILE.jsonl``
 (structured event trace; see docs/OBSERVABILITY.md), ``--profile``
-(per-phase time breakdown), ``--health`` (live sampler + watchdog, with
+(per-phase time breakdown), ``--attr [sampled|full]`` (rule-level cost
+attribution with ``--attr-every N`` sampling), ``--health`` (live
+sampler + watchdog, with
 ``--health-every`` / ``--frontier-budget`` / ``--on-pressure``) and
 ``--serve-metrics PORT`` (live Prometheus endpoint on localhost).
 
@@ -59,9 +67,12 @@ from .core import (Engine, EngineConfig, measure, solver_cache_summary,
                    trace_run)
 from .isa import assemble, build, format_instruction, run_image
 from .isa.cfg import recover_cfg
-from .obs import (ExecutionTree, HealthConfig, JsonlSink, MetricsServer,
-                  Obs, SpecCoverage, TelemetryError, compare_runs,
-                  health_summary_line, load_run, render_prom_snapshot)
+from .obs import (AttrConfig, ExecutionTree, HealthConfig, JsonlSink,
+                  MetricsServer, Obs, SpecCoverage, TelemetryError,
+                  compare_runs, health_summary_line, load_run,
+                  render_prom_snapshot)
+from .obs.attr import annotate_spec_costs, hot_report, hot_rules_lines
+from .obs.flame import chrome_trace, render_collapsed
 from .runstore import (RunStore, RunStoreError, cached_explore,
                        replay_run, spec_digest)
 
@@ -207,6 +218,13 @@ def cmd_explore(args) -> int:
         health = HealthConfig(sample_every_steps=args.health_every,
                               frontier_budget=args.frontier_budget,
                               actions=actions)
+    # Cost attribution: --attr [sampled|full] (+ --attr-every N).
+    attr_mode = getattr(args, "attr", None)
+    attr_config = None
+    if attr_mode:
+        attr_config = AttrConfig(mode=attr_mode,
+                                 sample_every=getattr(args, "attr_every",
+                                                      16))
     config = EngineConfig(
         max_steps_per_path=args.max_steps,
         check_uninit=args.uninit,
@@ -217,6 +235,7 @@ def cmd_explore(args) -> int:
         max_wall_seconds=args.max_seconds,
         health=health,
         obs=obs,
+        attr=attr_config,
     )
     store_flag = getattr(args, "store", None)
     engine = None
@@ -281,6 +300,9 @@ def cmd_explore(args) -> int:
         print(engine.health.report())
     if want_profile:
         print(obs.profiler.report())
+    attr_block = (result.telemetry or {}).get("attr")
+    if attr_mode and attr_block:
+        print(hot_report(attr_block, top=5))
     if sink is not None:
         summary = {"record": "run_summary",
                    "isa": model.name,
@@ -308,6 +330,11 @@ def cmd_record(args) -> int:
     model, image = _load(args)
     store = RunStore(args.store)
     obs = Obs(metrics=True, profile=True)
+    # Recorded runs carry a cost-attribution profile by default
+    # (sampled mode; --attr off|sampled|full to override): attribution
+    # is observe-only, so it never changes the run id or the outcome.
+    attr_mode = getattr(args, "attr", "sampled")
+    attr_config = AttrConfig(attr_mode) if attr_mode != "off" else None
     config = EngineConfig(
         max_steps_per_path=args.max_steps,
         check_uninit=args.uninit,
@@ -316,6 +343,7 @@ def cmd_record(args) -> int:
         collect_coverage=True,
         use_solver_cache=not args.no_solver_cache,
         obs=obs,
+        attr=attr_config,
     )
     try:
         result, stored, hit = cached_explore(
@@ -504,6 +532,14 @@ def cmd_stats(args) -> int:
             _print_phases(telemetry.get("phases", {}))
             _print_counters(telemetry.get("metrics", {}).get("counters",
                                                              {}))
+            # Hottest rules (schema-v5 attr block; absent on pre-v5
+            # sidecars and runs without --attr — silently skipped).
+            hot_lines = hot_rules_lines(telemetry.get("attr"), top=5)
+            if hot_lines:
+                print("\nhottest rules (by cost share; full view: "
+                      "'repro hot %s'):" % args.run)
+                for line in hot_lines:
+                    print(line)
             cache_line = solver_cache_summary(telemetry.get("solver"))
             if cache_line is not None:
                 print("\n" + cache_line)
@@ -523,6 +559,103 @@ def cmd_stats(args) -> int:
             _print_phases(telemetry.get("phases", {}))
             _print_counters(telemetry.get("metrics", {}).get("counters",
                                                              {}))
+    return 0
+
+
+def _attr_block_from_sidecar(path):
+    """The ``attr`` block of a telemetry sidecar's run_summary, or None
+    (pre-v5 sidecar, run without --attr, unreadable file...)."""
+    run = _open_run(path)
+    if run is None:
+        return None, True         # _open_run already printed the error
+    return run.attr_block(), False
+
+
+def _attr_block_from_store(target, store_dir):
+    """Resolve ``target`` as a run-store id; returns (block, run)."""
+    store = RunStore(store_dir)
+    run = store.get(target)
+    if run is None:
+        return None, None
+    block = run.attr()
+    if block is None:
+        # Runs recorded before the attr.json artifact still carry the
+        # block inside result.json's telemetry.
+        try:
+            telemetry = run.result_dict().get("telemetry")
+        except RunStoreError:
+            telemetry = None
+        if isinstance(telemetry, dict):
+            candidate = telemetry.get("attr")
+            if isinstance(candidate, dict):
+                block = candidate
+    return block, run
+
+
+def cmd_hot(args) -> int:
+    """Cost-attribution views of a run: hottest rules / IR kinds /
+    branch sites, flamegraphs, Chrome traces, spec heat maps.
+
+    ``target`` is a telemetry sidecar path (JSONL, written by
+    ``explore --attr --telemetry-out``) or a run-store run id
+    (``repro record``).  Degenerate inputs — missing file, pre-v5
+    sidecar, a run without attribution — exit 1 with a one-line error,
+    never a traceback.
+    """
+    import json as _json
+    import os as _os
+    block = None
+    if _os.path.exists(args.target) or _os.path.sep in args.target:
+        block, failed = _attr_block_from_sidecar(args.target)
+        if failed:
+            return 1
+        if block is None:
+            sys.stderr.write(
+                "error: %s has no cost-attribution block (re-run with "
+                "'repro explore --attr --telemetry-out ...')\n"
+                % args.target)
+            return 1
+    else:
+        try:
+            block, run = _attr_block_from_store(args.target, args.store)
+        except RunStoreError as error:
+            sys.stderr.write("error: %s\n" % error)
+            return 1
+        if run is None:
+            sys.stderr.write(
+                "error: %r is neither a telemetry file nor a stored "
+                "run id (see 'repro runs')\n" % args.target)
+            return 1
+        if block is None:
+            sys.stderr.write(
+                "error: run %s has no cost-attribution profile "
+                "(record with --attr enabled)\n" % run.run_id)
+            return 1
+    if args.flame:
+        with open(args.flame, "w") as handle:
+            handle.write(render_collapsed(block) + "\n")
+        print("flamegraph: collapsed stacks -> %s" % args.flame)
+    if args.trace:
+        with open(args.trace, "w") as handle:
+            _json.dump(chrome_trace(block), handle)
+        print("trace: chrome trace_event JSON -> %s" % args.trace)
+    if args.annotate:
+        try:
+            text = annotate_spec_costs(block)
+        except (ValueError, OSError) as error:
+            sys.stderr.write("error: %s\n" % error)
+            return 1
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+            print("heat map -> %s" % args.out)
+        else:
+            print(text)
+        return 0
+    if args.json:
+        print(_json.dumps(block, indent=2, sort_keys=True))
+        return 0
+    print(hot_report(block, top=args.top, min_share=args.min_share))
     return 0
 
 
@@ -981,6 +1114,20 @@ def main(argv=None) -> int:
     explore.add_argument("--profile", action="store_true",
                          help="print a per-phase time breakdown "
                               "(decode/eval/solver/memory/strategy)")
+    explore.add_argument("--attr", nargs="?", const="sampled",
+                         default=None, choices=["sampled", "full"],
+                         help="rule-level cost attribution: charge "
+                              "eval/solver/cache/fork costs to ADL "
+                              "rules, IR kinds and branch sites "
+                              "(prints the hottest rules; with "
+                              "--telemetry-out, inspect later via "
+                              "'repro hot').  'sampled' (default) "
+                              "probes IR nodes every Nth step; "
+                              "'full' probes every step")
+    explore.add_argument("--attr-every", type=int, default=16,
+                         metavar="N",
+                         help="sampled attribution: deep-probe every "
+                              "Nth step (default 16)")
     explore.add_argument("--max-seconds", type=float, default=None,
                          metavar="T",
                          help="wall-clock deadline; stops cleanly with "
@@ -1048,6 +1195,11 @@ def main(argv=None) -> int:
                         help="preload the solver cache from a stored "
                              "run (recorded in the manifest so replay "
                              "uses the same warm start)")
+    record.add_argument("--attr", default="sampled",
+                        choices=["off", "sampled", "full"],
+                        help="cost-attribution profile stored with the "
+                             "run as attr.json (default 'sampled'; "
+                             "observe-only: never part of the run key)")
 
     replay = commands.add_parser(
         "replay",
@@ -1082,6 +1234,39 @@ def main(argv=None) -> int:
     stats = commands.add_parser(
         "stats", help="pretty-print a saved --telemetry-out run")
     stats.add_argument("run", help="telemetry JSONL file")
+
+    hot = commands.add_parser(
+        "hot",
+        help="cost-attribution views of a run: hottest rules, spec "
+             "heat maps, flamegraphs (needs --attr at explore/record "
+             "time)")
+    hot.add_argument("target",
+                     help="telemetry JSONL file (explore --attr "
+                          "--telemetry-out) or run-store run id "
+                          "(repro record)")
+    hot.add_argument("--store", metavar="DIR", default=None,
+                     help="store root for run-id targets (default "
+                          "~/.repro/store or $REPRO_STORE)")
+    hot.add_argument("--top", type=int, default=10, metavar="N",
+                     help="rows per table in the text report "
+                          "(default 10)")
+    hot.add_argument("--min-share", type=float, default=0.0,
+                     metavar="R",
+                     help="hide rules below this cost share "
+                          "(0.05 = 5%%)")
+    hot.add_argument("--json", action="store_true",
+                     help="dump the raw attribution block as JSON")
+    hot.add_argument("--flame", metavar="FILE",
+                     help="write collapsed stacks (flamegraph.pl / "
+                          "speedscope format) to FILE")
+    hot.add_argument("--trace", metavar="FILE",
+                     help="write Chrome trace_event JSON to FILE "
+                          "(open in chrome://tracing or Perfetto)")
+    hot.add_argument("--annotate", action="store_true",
+                     help="print the ADL spec source with per-line "
+                          "cost shares in the margin")
+    hot.add_argument("--out", metavar="FILE",
+                     help="--annotate: write the heat map to FILE")
 
     top = commands.add_parser(
         "top", help="live TTY view of a running exploration "
@@ -1181,7 +1366,8 @@ def main(argv=None) -> int:
     handler = {
         "isas": cmd_isas, "asm": cmd_asm, "dis": cmd_dis, "run": cmd_run,
         "trace": cmd_trace, "explore": cmd_explore, "cfg": cmd_cfg,
-        "stats": cmd_stats, "tree": cmd_tree, "speccov": cmd_speccov,
+        "stats": cmd_stats, "hot": cmd_hot, "tree": cmd_tree,
+        "speccov": cmd_speccov,
         "top": cmd_top, "metrics": cmd_metrics,
         "diffstats": cmd_diffstats, "lint": cmd_lint,
         "record": cmd_record, "replay": cmd_replay, "runs": cmd_runs,

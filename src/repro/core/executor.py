@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..ir import nodes as N
 from ..isa.decoder import DecodeError
 from ..obs import Obs
+from ..obs.attr import ir_kind
 from ..smt import SAT, Solver
 from ..smt import terms as T
 from . import reporting as R
@@ -75,7 +76,8 @@ class EngineConfig:
                  cow_memory: bool = True,
                  use_solver_cache: bool = True,
                  obs: Optional[Obs] = None,
-                 health: Optional[object] = None):
+                 health: Optional[object] = None,
+                 attr: Optional[object] = None):
         self.max_steps_per_path = max_steps_per_path
         self.max_states = max_states
         self.max_paths = max_paths
@@ -131,11 +133,16 @@ class EngineConfig:
         # degradation actions fire only when HealthConfig.actions
         # explicitly opts in.
         self.health = health
+        # Cost attribution (repro.obs.attr).  None = off.  Pass an
+        # AttrConfig to charge wall/solver time, cache traffic, forks
+        # and term allocations to individual ADL rules, IR node kinds
+        # and branch sites (CLI --attr; repro hot).  Observe-only.
+        self.attr = attr
 
     # Every field that shapes the exploration *outcome* — the run-store
-    # key material (repro.runstore).  ``obs`` and ``health`` are
-    # deliberately absent: observability must never change what a run
-    # computes, and serializing live handles makes no sense.
+    # key material (repro.runstore).  ``obs``, ``health`` and ``attr``
+    # are deliberately absent: observability must never change what a
+    # run computes, and serializing live handles makes no sense.
     _SERIALIZED_FIELDS = (
         "max_steps_per_path", "max_states", "max_paths", "max_defects",
         "max_instructions", "max_wall_seconds", "max_fork_targets",
@@ -203,6 +210,15 @@ class Engine:
         self._tracer = self.obs.tracer
         self._profiler = self.obs.profiler
         self._profile_on = self.obs.profiler.enabled
+        # Cost attribution (repro.obs.attr): charges eval/solver time,
+        # cache traffic, forks and term allocations to rules / IR node
+        # kinds / branch sites.  Observe-only, like the profiler.
+        self.attr = None
+        if self.config.attr is not None:
+            from ..obs.attr import CostAttribution
+            self.attr = CostAttribution(self.config.attr, model,
+                                        metrics=self.obs.metrics)
+            self.solver.attach_attr(self.attr)
         metrics = self.obs.metrics
         self._c_steps = metrics.counter("engine.steps")
         self._c_forks = metrics.counter("engine.forks")
@@ -336,6 +352,8 @@ class Engine:
             telemetry["wall_time"] = result.wall_time
             if monitor is not None:
                 telemetry["health"] = monitor.finish()
+            if self.attr is not None:
+                telemetry["attr"] = self.attr.snapshot(self._profiler)
             result.telemetry = telemetry
             self._result = None
         return result
@@ -490,6 +508,18 @@ class Engine:
         if tracer.enabled:
             tracer.emit("step", state_id=state.state_id, pc=state.pc,
                         instr=decoded.instruction.name)
+        # Cost attribution: set the (rule, pc) context every step; on a
+        # *deep* (sampled) step additionally probe the recursive _eval
+        # so per-IR-kind timings accrue.  The end_step charge in the
+        # finally mirrors the eval phase scope exactly — that is the
+        # reconciliation contract (attr eval calls == phase eval calls).
+        attr = self.attr
+        deep = False
+        if attr is not None:
+            deep = attr.begin_step(decoded.instruction.name, state.pc)
+            if deep:
+                self._install_ir_probe(attr)
+            attr_start = time.perf_counter()
         try:
             if self._profile_on:
                 with self._profiler.phase("eval"):
@@ -499,6 +529,11 @@ class Engine:
         except _PathEnd as dead:
             self._dead_end(state, dead.reason)
             return []
+        finally:
+            if attr is not None:
+                if deep:
+                    self.__dict__.pop("_eval", None)
+                attr.end_step(time.perf_counter() - attr_start)
         successors: List[SymState] = []
         for sub_state, outcome in finished:
             sub_state.steps += 1
@@ -519,6 +554,8 @@ class Engine:
             forked = len(finished) - 1
             result.states_forked += forked
             self._c_forks.inc(forked)
+            if attr is not None:
+                attr.on_fork(forked)
             if tracer.enabled:
                 tracer.emit("fork", state_id=state.state_id, pc=state.pc,
                             children=[sub.state_id
@@ -526,6 +563,27 @@ class Engine:
                             conds=[self._edge_cond(sub, cond_base)
                                    for sub, _ in finished])
         return successors
+
+    def _install_ir_probe(self, attr) -> None:
+        """Shadow ``self._eval`` with a timing wrapper for one deep step.
+
+        Every ``self._eval(...)`` call site — including the recursive
+        ones inside :meth:`_eval` itself — resolves through the
+        instance attribute, so the whole expression tree is probed
+        without duplicating the evaluator.  The shadow is popped in
+        ``_step``'s finally, restoring the plain class method."""
+        engine = self
+        base = Engine._eval
+
+        def probed(state, expr, fields, local_values, guards, decoded):
+            attr.ir_enter(ir_kind(expr))
+            try:
+                return base(engine, state, expr, fields, local_values,
+                            guards, decoded)
+            finally:
+                attr.ir_exit()
+
+        self.__dict__["_eval"] = probed
 
     #: Rendered branch-condition summaries on fork events are truncated
     #: to this many characters (flight-recorder edge labels, not proofs).
@@ -646,6 +704,8 @@ class Engine:
             forked = len(successors) - 1
             result.states_forked += forked
             self._c_forks.inc(forked)
+            if self.attr is not None:
+                self.attr.on_fork(forked)
             if self._tracer.enabled:
                 self._tracer.emit("fork", state_id=state.state_id,
                                   pc=state.pc, indirect=True,
@@ -742,10 +802,22 @@ class Engine:
         results: List[Tuple[SymState, _Outcome]] = []
         branches = ((cond, stmt.then_body), (T.not_(cond), stmt.else_body))
         feasible = []
-        for branch_cond, body in branches:
-            verdict, model, memo = self._branch_feasible(state, branch_cond)
-            if verdict == SAT:
-                feasible.append((branch_cond, body, model, memo))
+        # On a deep attribution step the feasibility probes run under a
+        # synthetic IfStmt frame, so their solver time shows up as
+        # isa;rule;IfStmt;solver in the flamegraph (branch blame).
+        attr = self.attr
+        probe = attr is not None and attr.deep
+        if probe:
+            attr.ir_enter("IfStmt")
+        try:
+            for branch_cond, body in branches:
+                verdict, model, memo = self._branch_feasible(state,
+                                                             branch_cond)
+                if verdict == SAT:
+                    feasible.append((branch_cond, body, model, memo))
+        finally:
+            if probe:
+                attr.ir_exit()
         for position, (branch_cond, body, model, memo) in enumerate(feasible):
             last = position == len(feasible) - 1
             branch_state = state if last else state.fork()

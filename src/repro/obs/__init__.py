@@ -21,6 +21,13 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from .attr import (  # noqa: F401
+    AttrConfig,
+    CostAttribution,
+    annotate_spec_costs,
+    hot_report,
+    hot_rules_lines,
+)
 from .compare import (  # noqa: F401
     DiffRow,
     RunComparison,
@@ -62,6 +69,7 @@ from .metrics import (  # noqa: F401
     Histogram,
     MetricsRegistry,
 )
+from .flame import chrome_trace, collapsed_stacks, render_collapsed  # noqa: F401,E501
 from .profile import PhaseProfiler, PhaseStats  # noqa: F401
 from .prom import MetricsServer, render_prom, render_prom_snapshot  # noqa: F401
 from .sinks import (  # noqa: F401
@@ -82,6 +90,9 @@ from .speccov import (  # noqa: F401
 from .tree import ExecutionTree, FlightRecorder, TreeEdge, TreeNode  # noqa: F401
 
 __all__ = ["Obs", "MetricsRegistry", "Counter", "Gauge", "Histogram",
+           "AttrConfig", "CostAttribution", "annotate_spec_costs",
+           "hot_report", "hot_rules_lines",
+           "chrome_trace", "collapsed_stacks", "render_collapsed",
            "EventTracer", "Event", "EVENT_KINDS", "SCHEMA_VERSION",
            "PhaseProfiler",
            "PhaseStats", "RingBufferSink", "JsonlSink", "ConsoleSink",

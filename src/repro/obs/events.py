@@ -37,12 +37,16 @@ Version 2 added the ``prune`` kind, per-edge branch condition summaries
 on ``fork`` events (``conds``, aligned with ``children``) and the
 ``duplicate`` flag on ``merge`` events.  Version 3 added the ``health``
 and ``watchdog`` kinds emitted by the live health monitor.  Version 4
-(this release) adds the ``store`` kind (a run-store dedup probe:
+added the ``store`` kind (a run-store dedup probe:
 ``hit``, ``run_id`` payload; see :mod:`repro.runstore`) and an optional
 ``env`` provenance block on the leading ``schema`` meta record (python
 version, platform, package version, spec digests — see
-:func:`repro.runstore.provenance.environment_snapshot`).  All bumps are
-additive: readers of version-1/2/3 files keep working — sidecars
+:func:`repro.runstore.provenance.environment_snapshot`).  Version 5
+(this release) adds the optional ``attr`` cost-attribution block inside
+the ``run_summary`` meta record's ``telemetry`` payload (per-rule /
+per-IR-kind / per-site cost shares; see :mod:`repro.obs.attr` and
+``repro hot``) — no new event kinds.  All bumps are
+additive: readers of version-1/2/3/4 files keep working — sidecars
 without the ``env`` block simply report no provenance — and readers
 that dispatch on known kinds ignore the new ones (sinks, the flight
 recorder and ``repro stats`` are tolerant of unknown kinds by design;
@@ -62,7 +66,7 @@ __all__ = ["Event", "EventTracer", "EVENT_KINDS", "SCHEMA_VERSION",
 
 #: Wire-format version stamped into JSONL run files (a ``meta`` record
 #: written by :class:`~repro.obs.sinks.JsonlSink`).
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 STEP = "step"
 FORK = "fork"

@@ -13,6 +13,7 @@ path at roughly the cost of a method call.
 
 from __future__ import annotations
 
+import functools
 import time
 from typing import Dict, List
 
@@ -105,20 +106,37 @@ class PhaseProfiler:
         return _Scope(self, name)
 
     def wrap(self, name: str):
-        """Decorator form: time every call of the wrapped function."""
+        """Decorator form: time every call of the wrapped function.
+
+        ``functools.wraps`` keeps the wrapped function's metadata
+        (``__qualname__``, ``__module__``, ``__wrapped__`` and the
+        signature via ``__wrapped__``) intact so decorated engine
+        methods stay introspectable."""
         def decorator(fn):
+            @functools.wraps(fn)
             def wrapped(*args, **kwargs):
                 with self.phase(name):
                     return fn(*args, **kwargs)
-            wrapped.__name__ = getattr(fn, "__name__", "wrapped")
-            wrapped.__doc__ = fn.__doc__
             return wrapped
         return decorator
 
     def stats(self, name: str) -> PhaseStats:
-        """Stats for one phase (zeroed placeholder if never entered)."""
+        """Stats for one phase.
+
+        On an *enabled* profiler a never-entered phase is registered on
+        first access, so the returned object is live: later mutations
+        and scope exits accumulate into the same ``PhaseStats`` (and it
+        appears — zeroed — in :meth:`snapshot`).  A *disabled* profiler
+        returns a detached zeroed placeholder instead: it records
+        nothing, so registering would only pollute snapshots.
+        """
         found = self._phases.get(name)
-        return found if found is not None else PhaseStats(name)
+        if found is not None:
+            return found
+        if not self.enabled:
+            return PhaseStats(name)
+        found = self._phases[name] = PhaseStats(name)
+        return found
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         return {name: stats.snapshot()

@@ -207,6 +207,19 @@ class RunFile:
                 return record
         return None
 
+    def attr_block(self) -> Optional[Dict[str, object]]:
+        """The schema-v5 cost-attribution block of the run summary
+        (``telemetry.attr``), or ``None`` for pre-v5 sidecars and runs
+        explored without ``--attr`` — readers stay tolerant."""
+        summary = self.run_summary()
+        if summary is None:
+            return None
+        telemetry = summary.get("telemetry")
+        if not isinstance(telemetry, dict):
+            return None
+        block = telemetry.get("attr")
+        return block if isinstance(block, dict) else None
+
     def environment(self) -> Dict[str, object]:
         """The ``env`` provenance block of the schema meta record
         (python/platform/package/spec digests), or ``{}`` for sidecars

@@ -28,6 +28,8 @@ Layout (under ``~/.repro/store`` or ``--store DIR`` /
     runs/<run_id>/events.jsonl.gz      full schema event stream
     runs/<run_id>/result.json          serialized ExplorationResult
     runs/<run_id>/solver_cache.json.gz persisted QueryCache (optional)
+    runs/<run_id>/attr.json            cost-attribution profile
+                                       (optional; repro hot <run_id>)
 
 Writes are atomic: a run is streamed into ``runs/.tmp-*`` and
 ``os.rename``-d into place, so readers never observe a half-written
@@ -67,6 +69,7 @@ MANIFEST = "manifest.json"
 EVENTS = "events.jsonl.gz"
 RESULT = "result.json"
 SOLVER_CACHE = "solver_cache.json.gz"
+ATTR = "attr.json"
 
 
 class RunStoreError(Exception):
@@ -205,6 +208,19 @@ class StoredRun:
                 return json.load(handle)
         except (OSError, EOFError, ValueError):
             return None
+
+    def attr(self) -> Optional[Dict[str, object]]:
+        """The cost-attribution profile (``repro.obs.attr`` snapshot
+        block), or None — runs recorded without ``--attr`` (or by older
+        code) simply have no profile; a corrupt artifact degrades to
+        None, never errors (``repro hot`` reports it as missing)."""
+        path = os.path.join(self.path, ATTR)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
 
     def __repr__(self):
         return "<StoredRun %s>" % self.run_id
@@ -391,6 +407,12 @@ def record_exploration(store: RunStore, model, image,
     if engine.solver.query_cache is not None:
         with gzip.open(os.path.join(tmp, SOLVER_CACHE), "wt") as handle:
             json.dump(engine.solver.query_cache.save_state(), handle)
+    # Cost-attribution profile: persisted as its own artifact so
+    # ``repro hot <run-id>`` reads it without parsing the full result.
+    attr_block = (result.telemetry or {}).get("attr")
+    if isinstance(attr_block, dict):
+        with open(os.path.join(tmp, ATTR), "w") as handle:
+            json.dump(attr_block, handle, sort_keys=True)
     manifest = {
         "run_id": run_id,
         "created": time.time(),

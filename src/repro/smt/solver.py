@@ -125,6 +125,7 @@ class Solver:
         from ..obs.profile import PhaseProfiler
         self._obs_tracer = None
         self._obs_profiler = PhaseProfiler(enabled=False)
+        self._attr = None
         self._check_hist = NULL_HISTOGRAM
         self._c_cache_hit = NULL_COUNTER
         self._c_cache_model_reuse = NULL_COUNTER
@@ -156,6 +157,16 @@ class Solver:
         self._c_cache_subsumed = metrics.counter("solver.cache_subsumed")
         self._c_cache_miss = metrics.counter("solver.cache_miss")
         self._c_frame_reuse = metrics.counter("solver.frame_reuse")
+
+    def attach_attr(self, attr) -> None:
+        """Wire a :class:`repro.obs.attr.CostAttribution` accumulator.
+
+        Mirrors the profiler's accounting contract: every *solved*
+        query charges its elapsed time to the engine's current
+        rule/pc/IR context (``on_solver_check``); query-cache answers
+        and frame reuse charge only a cache hit (``on_solver_cache``),
+        never solver time."""
+        self._attr = attr
 
     # -- assertion management -------------------------------------------------
 
@@ -197,6 +208,8 @@ class Solver:
                 return cached
             self.stats.cache_misses += 1
             self._c_cache_miss.inc()
+            if self._attr is not None:
+                self._attr.on_cache_miss()
         profiler = self._obs_profiler
         start = time.perf_counter()
         skip_models = key is not None  # the cache probe already replayed them
@@ -217,6 +230,8 @@ class Solver:
         if key is not None:
             self.query_cache.store(
                 key, result, self._last_model if result == SAT else None)
+        if self._attr is not None:
+            self._attr.on_solver_check(elapsed, result)
         tracer = self._obs_tracer
         if tracer is not None and tracer.enabled:
             tracer.emit("solver_check", result=result,
@@ -274,6 +289,8 @@ class Solver:
         return None
 
     def _emit_cache_event(self, layer: str, result: str) -> None:
+        if self._attr is not None:
+            self._attr.on_solver_cache(layer)
         tracer = self._obs_tracer
         if tracer is not None and tracer.enabled:
             tracer.emit("solver_cache", layer=layer, result=result)

@@ -214,3 +214,124 @@ class TestSolverCacheAccounting:
         assert delta["frame_reuse"] == 1
         assert delta["sat_calls"] == 0
         assert delta["solve_time"] == 0.0
+
+
+class TestScopeUnwinding:
+    """Scopes must unwind correctly when client code raises."""
+
+    def test_exception_still_charges_scope(self):
+        profiler = PhaseProfiler()
+        try:
+            with profiler.phase("eval"):
+                spin(0.001)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        stats = profiler.stats("eval")
+        assert stats.calls == 1
+        assert stats.total >= 0.001
+        # The stack is fully unwound: a fresh root scope is charged as a
+        # root, not as a child of the failed one.
+        with profiler.phase("decode"):
+            pass
+        assert profiler.stats("decode").calls == 1
+        assert abs(profiler.stats("decode").total
+                   - profiler.stats("decode").self_time) < 1e-9
+
+    def test_exception_in_nested_scope_unwinds_to_parent(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("eval"):
+            try:
+                with profiler.phase("solver"):
+                    raise ValueError("inner")
+            except ValueError:
+                pass
+            spin(0.001)
+        eval_stats = profiler.stats("eval")
+        solver_stats = profiler.stats("solver")
+        assert eval_stats.calls == 1
+        assert solver_stats.calls == 1
+        # The parent kept timing after the child blew up.
+        assert eval_stats.total >= solver_stats.total + 0.001
+        # And the child's elapsed time was still handed to the parent.
+        assert eval_stats.self_time < eval_stats.total
+
+    def test_deep_nesting_unwinds_completely(self):
+        profiler = PhaseProfiler()
+        depth = 200
+
+        def recurse(level):
+            if level == 0:
+                raise RuntimeError("bottom")
+            with profiler.phase("eval"):
+                recurse(level - 1)
+
+        try:
+            recurse(depth)
+        except RuntimeError:
+            pass
+        assert profiler.stats("eval").calls == depth
+        # Every frame exited: a new root scope has no leaked parent, so
+        # its self time equals its total.
+        with profiler.phase("memory"):
+            spin(0.001)
+        memory = profiler.stats("memory")
+        assert abs(memory.total - memory.self_time) < 1e-9
+
+    def test_deep_nesting_totals_are_coherent(self):
+        profiler = PhaseProfiler()
+
+        def recurse(level):
+            with profiler.phase("eval"):
+                if level:
+                    recurse(level - 1)
+                else:
+                    spin(0.001)
+
+        recurse(50)
+        stats = profiler.stats("eval")
+        assert stats.calls == 51
+        # Self time across a recursive chain never exceeds the sum of
+        # inclusive totals.
+        assert stats.self_time <= stats.total + 1e-9
+
+
+class TestWrapMetadata:
+    def test_wrap_preserves_function_identity(self):
+        profiler = PhaseProfiler()
+
+        @profiler.wrap("decode")
+        def decode_instruction(word):
+            """Decode one instruction word."""
+            return word + 1
+
+        assert decode_instruction.__name__ == "decode_instruction"
+        assert decode_instruction.__doc__ == "Decode one instruction word."
+        assert decode_instruction.__wrapped__(1) == 2
+        assert decode_instruction(1) == 2
+
+
+class TestStatsRegistration:
+    """stats() semantics: live view when enabled, detached when not."""
+
+    def test_enabled_stats_is_live_registered_view(self):
+        profiler = PhaseProfiler()
+        view = profiler.stats("solver")
+        assert view.calls == 0
+        with profiler.phase("solver"):
+            pass
+        # The earlier handle observes later activity (same object).
+        assert view.calls == 1
+        assert profiler.stats("solver") is view
+
+    def test_disabled_stats_is_detached_placeholder(self):
+        profiler = PhaseProfiler(enabled=False)
+        view = profiler.stats("solver")
+        assert view.calls == 0
+        with profiler.phase("solver"):
+            pass
+        # Disabled profiler: nothing recorded anywhere, and the
+        # placeholder never appears in snapshots.
+        assert view.calls == 0
+        assert profiler.snapshot() == {}
+        assert profiler.stats("solver") is not view
