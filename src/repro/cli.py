@@ -153,7 +153,8 @@ def cmd_dis(args) -> int:
 def cmd_run(args) -> int:
     model, image = _load(args)
     sim = run_image(model, image, input_bytes=_parse_input(args.input),
-                    max_steps=args.max_steps)
+                    max_steps=args.max_steps,
+                    compiled=getattr(args, "compiled", False))
     if sim.output:
         sys.stdout.write("output: %r\n" % bytes(sim.output))
     if sim.trapped:
@@ -232,6 +233,7 @@ def cmd_explore(args) -> int:
         merge_states=args.merge,
         collect_coverage=True,
         use_solver_cache=not getattr(args, "no_solver_cache", False),
+        compiled_semantics=getattr(args, "compiled", False),
         max_wall_seconds=args.max_seconds,
         health=health,
         obs=obs,
@@ -342,6 +344,7 @@ def cmd_record(args) -> int:
         merge_states=args.merge,
         collect_coverage=True,
         use_solver_cache=not args.no_solver_cache,
+        compiled_semantics=getattr(args, "compiled", False),
         obs=obs,
         attr=attr_config,
     )
@@ -963,6 +966,33 @@ def cmd_diffstats(args) -> int:
     return 3 if comparison.regressions else 0
 
 
+def cmd_compile(args) -> int:
+    """Dump the generated transfer-function modules for one ISA.
+
+    What ``--compiled`` actually executes: the concrete per-instruction
+    transfer functions and/or the symbolic term-building plans, headed
+    by the spec digest that keys the compilation cache.  Useful for
+    eyeballing the specializer's output and as a CI artifact.
+    """
+    from .compile import compiled_for
+    model = build(args.isa)
+    compiled = compiled_for(model)
+    parts = ["# %s @ %s" % (compiled.isa, compiled.digest)]
+    if args.which in ("concrete", "both"):
+        parts.append(compiled.concrete_source)
+    if args.which in ("symbolic", "both"):
+        parts.append(compiled.symbolic_source)
+    text = "\n\n".join(parts)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print("wrote %s (%d rules, %d lines)"
+              % (args.out, len(compiled.plans), text.count("\n") + 1))
+    else:
+        print(text)
+    return 0
+
+
 def cmd_lint(args) -> int:
     """Static verification of ADL specs (see docs/LINT.md).
 
@@ -1088,6 +1118,12 @@ def main(argv=None) -> int:
                             ("cfg", "recover the control-flow graph")):
         sub = commands.add_parser(name, help=help_text)
         _add_common(sub)
+        if name == "run":
+            sub.add_argument("--compiled", action="store_true",
+                             help="execute compiled transfer functions "
+                                  "(repro.compile) instead of "
+                                  "interpreting IR; bit-for-bit "
+                                  "identical, just faster")
 
     explore = commands.add_parser(
         "explore", help="symbolic execution (paths + defects + coverage)")
@@ -1163,6 +1199,11 @@ def main(argv=None) -> int:
                               "content-addressed run store (and record "
                               "misses into it); DIR overrides "
                               "~/.repro/store / $REPRO_STORE")
+    explore.add_argument("--compiled", action="store_true",
+                         help="execute compiled per-instruction transfer "
+                              "functions (repro.compile) instead of "
+                              "walking rule IR; fingerprint-identical "
+                              "(never part of the run key), just faster")
 
     record = commands.add_parser(
         "record",
@@ -1200,6 +1241,10 @@ def main(argv=None) -> int:
                         help="cost-attribution profile stored with the "
                              "run as attr.json (default 'sampled'; "
                              "observe-only: never part of the run key)")
+    record.add_argument("--compiled", action="store_true",
+                        help="explore with compiled transfer functions "
+                             "(repro.compile); fingerprint-identical, "
+                             "never part of the run key")
 
     replay = commands.add_parser(
         "replay",
@@ -1362,6 +1407,18 @@ def main(argv=None) -> int:
                       help="write a lint summary readable by "
                            "'repro stats'")
 
+    compile_cmd = commands.add_parser(
+        "compile",
+        help="dump the generated transfer-function modules for an ISA "
+             "(what --compiled executes; CI artifact)")
+    compile_cmd.add_argument("isa",
+                             help="built-in ISA name (see 'isas')")
+    compile_cmd.add_argument("--which", default="both",
+                             choices=["concrete", "symbolic", "both"],
+                             help="which generated module to print")
+    compile_cmd.add_argument("--out", metavar="FILE",
+                             help="write to FILE instead of stdout")
+
     args = parser.parse_args(argv)
     handler = {
         "isas": cmd_isas, "asm": cmd_asm, "dis": cmd_dis, "run": cmd_run,
@@ -1371,6 +1428,7 @@ def main(argv=None) -> int:
         "top": cmd_top, "metrics": cmd_metrics,
         "diffstats": cmd_diffstats, "lint": cmd_lint,
         "record": cmd_record, "replay": cmd_replay, "runs": cmd_runs,
+        "compile": cmd_compile,
     }[args.command]
     return handler(args)
 

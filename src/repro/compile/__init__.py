@@ -1,0 +1,102 @@
+"""Specialized transfer functions compiled from ADL semantics.
+
+ROADMAP open item 1 ("compile the generated semantics"): instead of
+walking each rule's IR tree per executed instruction, every rule is
+lowered *once* into generated Python — a concrete transfer function for
+the simulator (:mod:`repro.compile.concrete`) and a symbolic
+term-building plan for the engine (:mod:`repro.compile.symbolic`).
+Decode -> semantics dispatch becomes one per-ISA table lookup.
+
+Cache discipline
+----------------
+Compiled tables are cached in-process keyed on ``(isa name,
+spec_digest)`` — the same content digest the run store uses for
+provenance (:func:`repro.runstore.provenance.spec_digest`).  Editing a
+spec changes its digest, which transparently regenerates the table;
+models rebuilt from an unchanged spec share the cached compilation.
+The cache holds only generated *functions and plan tuples* — never
+:class:`repro.smt.terms.Term` objects, because the term pool is
+swappable and cached terms would dangle across ``terms.configure()``.
+
+Equivalence discipline
+----------------------
+Compilation is an optimization, **not** a semantics change: the
+differential harness (``tests/compile/``) requires bit-for-bit
+identical exploration fingerprints (tree/leaves/defects) interpreted
+vs compiled on every shipped ISA, and a Hypothesis property test pins
+single-step equality against :mod:`repro.ir.interp`.  That is why
+``EngineConfig.compiled_semantics`` is deliberately *excluded* from the
+run-store key material: a compiled run answers for an interpreted run
+and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..runstore.provenance import spec_digest
+from .concrete import compile_block, compile_concrete  # noqa: F401
+from .errors import CompileError  # noqa: F401
+from .symbolic import compile_symbolic, exec_block  # noqa: F401
+
+__all__ = ["CompiledSemantics", "CompileError", "compiled_for",
+           "compile_block", "compile_concrete", "compile_symbolic",
+           "clear_cache", "cache_info"]
+
+
+class CompiledSemantics:
+    """One ISA's compiled transfer functions, keyed by spec digest."""
+
+    __slots__ = ("isa", "digest", "concrete", "plans",
+                 "concrete_source", "symbolic_source")
+
+    def __init__(self, isa: str, digest: str, concrete, plans,
+                 concrete_source: str, symbolic_source: str):
+        self.isa = isa
+        self.digest = digest
+        #: instruction name -> fn(ctx, fields, outcome)
+        self.concrete = concrete
+        #: instruction name -> plan tuple for symbolic.exec_block
+        self.plans = plans
+        self.concrete_source = concrete_source
+        self.symbolic_source = symbolic_source
+
+    @property
+    def source(self) -> str:
+        """Both generated modules, concatenated (debugging, artifacts)."""
+        return self.concrete_source + "\n\n" + self.symbolic_source
+
+    def __repr__(self):
+        return "<CompiledSemantics %s %s: %d rules>" % (
+            self.isa, self.digest[:18], len(self.plans))
+
+
+_CACHE: Dict[Tuple[str, str], CompiledSemantics] = {}
+
+
+def compiled_for(model) -> CompiledSemantics:
+    """The (cached) compiled semantics for ``model``.
+
+    Cache key is ``(model.name, spec_digest(model))``: an edited spec
+    digests differently and is recompiled; an unchanged spec — even
+    through a fresh :func:`repro.isa.build` — hits the cache.
+    """
+    digest = spec_digest(model)
+    key = (model.name, digest)
+    compiled = _CACHE.get(key)
+    if compiled is None:
+        concrete, concrete_source = compile_concrete(model)
+        plans, symbolic_source = compile_symbolic(model)
+        compiled = CompiledSemantics(model.name, digest, concrete, plans,
+                                     concrete_source, symbolic_source)
+        _CACHE[key] = compiled
+    return compiled
+
+
+def clear_cache() -> None:
+    """Drop every cached compilation (tests, spec-development loops)."""
+    _CACHE.clear()
+
+
+def cache_info() -> Dict[str, int]:
+    return {"entries": len(_CACHE)}

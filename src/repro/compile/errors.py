@@ -1,0 +1,9 @@
+"""Errors raised by the semantics specializer."""
+
+
+class CompileError(Exception):
+    """A rule could not be specialized (malformed or undisciplined IR).
+
+    Raised at generation time — never mid-execution: a model either
+    compiles completely or the compiled engine refuses to start.
+    """

@@ -75,6 +75,7 @@ class EngineConfig:
                  collect_coverage: bool = False,
                  cow_memory: bool = True,
                  use_solver_cache: bool = True,
+                 compiled_semantics: bool = False,
                  obs: Optional[Obs] = None,
                  health: Optional[object] = None,
                  attr: Optional[object] = None):
@@ -122,6 +123,14 @@ class EngineConfig:
         # cache (repro.smt.cache) and the engine's per-state frame-model
         # reuse for branch feasibility checks (_branch_feasible).
         self.use_solver_cache = use_solver_cache
+        # Execute specialized per-instruction transfer functions
+        # (repro.compile) instead of walking rule IR per step (CLI
+        # --compiled).  Proven observationally equivalent by the
+        # differential harness (tests/compile): identical tree/leaf/
+        # defect fingerprints on every shipped ISA — which is why this
+        # flag is absent from _SERIALIZED_FIELDS and never perturbs
+        # run-store identity.
+        self.compiled_semantics = compiled_semantics
         # Observability handle (repro.obs).  None means "engine default":
         # enabled counters, no event sink, no profiler — negligible
         # overhead.  Pass Obs.disabled() for a zero-telemetry baseline,
@@ -143,6 +152,10 @@ class EngineConfig:
     # key material (repro.runstore).  ``obs``, ``health`` and ``attr``
     # are deliberately absent: observability must never change what a
     # run computes, and serializing live handles makes no sense.
+    # ``compiled_semantics`` is likewise absent: compiled and
+    # interpreted execution produce bit-identical fingerprints (the
+    # differential harness enforces it), so a compiled run answers for
+    # an interpreted one in the store and vice versa.
     _SERIALIZED_FIELDS = (
         "max_steps_per_path", "max_states", "max_paths", "max_defects",
         "max_instructions", "max_wall_seconds", "max_fork_targets",
@@ -258,6 +271,17 @@ class Engine:
         self._defect_sites: set = set()
         self._endian = model.endian
         self._addr_width = model.pc_width
+        # Specialized transfer functions (repro.compile): plans compiled
+        # once per (isa, spec digest) and dispatched per instruction in
+        # _exec_block.  Field terms are cached per decoded word because
+        # term identity may matter to the solver's structural caches —
+        # per-engine only, never across terms.configure() (the engine
+        # lifetime is within one pool configuration).
+        self._compiled = None
+        self._field_term_cache: Dict = {}
+        if self.config.compiled_semantics:
+            from ..compile import compiled_for
+            self._compiled = compiled_for(model)
 
     # -- setup -------------------------------------------------------------------
 
@@ -719,11 +743,38 @@ class Engine:
 
     def _exec_block(self, state: SymState,
                     decoded) -> List[Tuple[SymState, _Outcome]]:
+        if self._compiled is not None and (
+                self.attr is None or not self.attr.deep):
+            # Specialized path: pre-compiled plan, cached field terms.
+            # Deep attribution steps fall back to the interpreted walk
+            # so the per-IR-kind probes (`repro hot`) still see every
+            # node — attr is observe-only and forces identical
+            # evaluation order, so fingerprints cannot shift.
+            from ..compile import symbolic as _compiled_sym
+            plan = self._compiled.plans[decoded.instruction.name]
+            return _compiled_sym.exec_block(self, state, decoded, plan)
         fields = {name: T.bv(value, self._field_width(decoded, name))
                   for name, value in decoded.fields.items()}
         frames = [(decoded.instruction.semantics, 0)]
         return self._run_frames(state, frames, {}, _Outcome(), fields,
                                 decoded)
+
+    def _compiled_fields(self, decoded) -> Dict[str, T.Term]:
+        """Field-name -> term dict for one decoded word, cached.
+
+        Keyed on ``(address, word)`` — :class:`Decoded` is slotted and
+        the decoder's own cache can be cleared underneath us, so object
+        identity is not a safe key.  Holding Term objects here is safe
+        only because the cache dies with the engine, which lives inside
+        a single term-pool configuration.
+        """
+        key = (decoded.address, decoded.word)
+        fields = self._field_term_cache.get(key)
+        if fields is None:
+            fields = {name: T.bv(value, self._field_width(decoded, name))
+                      for name, value in decoded.fields.items()}
+            self._field_term_cache[key] = fields
+        return fields
 
     def _field_width(self, decoded, name: str) -> int:
         operand = decoded.instruction.operands.get(name)

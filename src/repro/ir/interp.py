@@ -93,7 +93,15 @@ def eval_expr(expr: N.Expr, ctx: MachineContext, fields: Dict[str, int],
         if isinstance(expr, N.Pc):
             return ctx.current_pc() & _mask(expr.width)
         if isinstance(expr, N.InputByte):
-            return ctx.input_byte() & 0xff
+            # Input is a *side effect* (it advances the input cursor), so
+            # it may only appear as the whole right-hand side of an
+            # assignment, where evaluation order is unambiguous — exactly
+            # the discipline the translator enforces and the symbolic
+            # engine assumes.  Accepting it in a nested position here
+            # would let concrete and symbolic execution diverge on when
+            # the cursor moves.
+            raise ValueError(
+                "in() must be a whole right-hand side (translator bug)")
         if isinstance(expr, N.ReadReg):
             index = (eval_expr(expr.index, ctx, fields, local_values, attr)
                      if expr.index is not None else None)
@@ -222,12 +230,21 @@ def _exec_stmts(stmts, ctx, fields, local_values, outcome,
         if outcome.halted or outcome.trapped:
             return
         if isinstance(stmt, N.SetLocal):
-            local_values[stmt.name] = eval_expr(
-                stmt.value, ctx, fields, local_values, attr)
+            # in() is only legal as a whole RHS (see eval_expr); handle it
+            # at the statement level so the side effect has one fixed spot.
+            if isinstance(stmt.value, N.InputByte):
+                local_values[stmt.name] = ctx.input_byte() & 0xff
+            else:
+                local_values[stmt.name] = eval_expr(
+                    stmt.value, ctx, fields, local_values, attr)
         elif isinstance(stmt, N.SetReg):
             index = (eval_expr(stmt.index, ctx, fields, local_values, attr)
                      if stmt.index is not None else None)
-            value = eval_expr(stmt.value, ctx, fields, local_values, attr)
+            if isinstance(stmt.value, N.InputByte):
+                value = ctx.input_byte() & 0xff
+            else:
+                value = eval_expr(stmt.value, ctx, fields, local_values,
+                                  attr)
             ctx.write_reg(stmt.regfile, index, value)
         elif isinstance(stmt, N.SetPc):
             outcome.next_pc = eval_expr(stmt.value, ctx, fields,

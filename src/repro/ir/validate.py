@@ -75,7 +75,13 @@ def validate_expr(expr: N.Expr) -> None:
     elif isinstance(expr, N.ReadReg):
         if expr.index is not None:
             validate_expr(expr.index)
-    elif isinstance(expr, (N.Const, N.Field, N.Local, N.Pc, N.InputByte)):
+    elif isinstance(expr, N.InputByte):
+        # Nested in() would make the input-cursor side effect's timing
+        # depend on expression evaluation order; both execution engines
+        # (and the specializer) only support it as a whole assignment
+        # RHS, where validate_block admits it explicitly.
+        raise IrError("in() may only appear as a whole right-hand side")
+    elif isinstance(expr, (N.Const, N.Field, N.Local, N.Pc)):
         pass
     else:
         raise IrError("unknown expression node %r" % (expr,))
@@ -84,11 +90,14 @@ def validate_expr(expr: N.Expr) -> None:
 def validate_block(stmts: Sequence[N.Stmt]) -> None:
     for stmt in stmts:
         if isinstance(stmt, N.SetLocal):
-            validate_expr(stmt.value)
+            # in() is admitted only here and in SetReg, as the whole RHS.
+            if not isinstance(stmt.value, N.InputByte):
+                validate_expr(stmt.value)
         elif isinstance(stmt, N.SetReg):
             if stmt.index is not None:
                 validate_expr(stmt.index)
-            validate_expr(stmt.value)
+            if not isinstance(stmt.value, N.InputByte):
+                validate_expr(stmt.value)
         elif isinstance(stmt, (N.SetPc, N.Output, N.Halt, N.Trap)):
             validate_expr(stmt.value if hasattr(stmt, "value") else stmt.code)
         elif isinstance(stmt, N.Store):

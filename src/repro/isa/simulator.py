@@ -121,7 +121,7 @@ class Simulator:
     """Fetch/decode/execute loop over a :class:`MachineState`."""
 
     def __init__(self, model, state: Optional[MachineState] = None,
-                 input_bytes: bytes = b""):
+                 input_bytes: bytes = b"", compiled: bool = False):
         self.model = model
         self.state = state if state is not None else MachineState(
             model, input_bytes)
@@ -130,6 +130,21 @@ class Simulator:
         self.exit_code: Optional[int] = None
         self.trapped = False
         self.trap_code: Optional[int] = None
+        # Specialized transfer functions (repro.compile): one generated
+        # Python function per rule instead of an IR walk per step.
+        # Bit-for-bit equivalent to the interpreter by the differential
+        # harness (tests/compile), so this flag only changes speed.
+        self._compiled_fns = None
+        self._pc_mask = (1 << model.pc_width) - 1
+        # Fused decode->dispatch sites: pc -> (byte pairs, decoded, fn).
+        # Each hit revalidates the instruction's own bytes, so
+        # self-modifying code falls back to a fresh decode.  Sound
+        # because decoding is shortest-first over length groups: the
+        # decision depends only on the decoded instruction's bytes.
+        self._sites: Dict[int, tuple] = {}
+        if compiled:
+            from ..compile import compiled_for
+            self._compiled_fns = compiled_for(model).concrete
 
     def _fetch_window(self) -> bytes:
         max_len = self.model.decoder.max_length
@@ -141,10 +156,37 @@ class Simulator:
     def step(self) -> StepResult:
         if self.halted or self.trapped:
             raise SimError("machine is stopped")
+        if self._compiled_fns is not None:
+            return self._step_compiled()
         window = self._fetch_window()
         decoded = self.model.decoder.decode_bytes(window, self.state.pc)
         outcome = interp.exec_block(decoded.instruction.semantics,
                                     self.state, decoded.fields)
+        return self._retire(decoded, outcome)
+
+    def _step_compiled(self) -> StepResult:
+        state = self.state
+        memory = state.memory
+        pc = state.pc
+        site = self._sites.get(pc)
+        if site is not None:
+            pairs, decoded, fn = site
+            for addr, byte in pairs:
+                if memory.get(addr, 0) != byte:
+                    site = None   # code changed under us: re-decode
+                    break
+        if site is None:
+            window = self._fetch_window()
+            decoded = self.model.decoder.decode_bytes(window, pc)
+            fn = self._compiled_fns[decoded.instruction.name]
+            pairs = tuple(((pc + i) & self._pc_mask, window[i])
+                          for i in range(decoded.length))
+            self._sites[pc] = (pairs, decoded, fn)
+        outcome = interp.ExecOutcome()
+        fn(state, decoded.fields, outcome)
+        return self._retire(decoded, outcome)
+
+    def _retire(self, decoded, outcome) -> StepResult:
         self.instruction_count += 1
         if outcome.halted:
             self.halted = True
@@ -153,10 +195,9 @@ class Simulator:
             self.trapped = True
             self.trap_code = outcome.trap_code
         elif outcome.next_pc is not None:
-            self.state.pc = outcome.next_pc & ((1 << self.model.pc_width) - 1)
+            self.state.pc = outcome.next_pc & self._pc_mask
         else:
-            self.state.pc = (self.state.pc + decoded.length) & (
-                (1 << self.model.pc_width) - 1)
+            self.state.pc = (self.state.pc + decoded.length) & self._pc_mask
         return StepResult(decoded, outcome)
 
     def run(self, max_steps: int = 1_000_000) -> "Simulator":
@@ -173,8 +214,8 @@ class Simulator:
 
 
 def run_image(model, image: Image, input_bytes: bytes = b"",
-              max_steps: int = 1_000_000) -> Simulator:
+              max_steps: int = 1_000_000, compiled: bool = False) -> Simulator:
     """Assemble-and-go convenience: load an image and run it."""
-    sim = Simulator(model, input_bytes=input_bytes)
+    sim = Simulator(model, input_bytes=input_bytes, compiled=compiled)
     sim.state.load_image(image)
     return sim.run(max_steps)

@@ -1,0 +1,203 @@
+"""Unit tests for the specializer itself: generated source shape,
+generation-time constant folding, input discipline, and the
+spec-digest-keyed compilation cache."""
+
+import shutil
+
+import pytest
+
+from repro.adl import analyze, parse_spec
+from repro.compile import (CompileError, cache_info, clear_cache,
+                           compile_block, compile_symbolic, compiled_for)
+from repro.ir import interp
+from repro.ir import nodes as N
+from repro.isa import build
+from repro.isa.model import ArchModel
+
+ALL_TARGETS = ["rv32", "mips32", "armlite", "pred32", "vlx"]
+
+
+class FakeMachine(interp.MachineContext):
+    """Dict-backed machine, mirroring the interpreter unit tests."""
+
+    def __init__(self, pc=0x1000, input_bytes=b""):
+        self.regs = {}
+        self.single = {}
+        self.mem = {}
+        self.pc = pc
+        self.inputs = list(input_bytes)
+        self.outputs = []
+
+    def read_reg(self, regfile, index):
+        if index is None:
+            return self.single.get(regfile, 0)
+        return self.regs.get((regfile, index), 0)
+
+    def write_reg(self, regfile, index, value):
+        if index is None:
+            self.single[regfile] = value
+        else:
+            self.regs[(regfile, index)] = value
+
+    def load(self, addr, size):
+        value = 0
+        for i in range(size):
+            value |= self.mem.get(addr + i, 0) << (8 * i)
+        return value
+
+    def store(self, addr, value, size):
+        for i in range(size):
+            self.mem[addr + i] = (value >> (8 * i)) & 0xff
+
+    def input_byte(self):
+        return self.inputs.pop(0) if self.inputs else 0
+
+    def output_byte(self, value):
+        self.outputs.append(value)
+
+    def current_pc(self):
+        return self.pc
+
+
+def c32(value):
+    return N.Const(value, 32)
+
+
+def run_compiled(stmts, machine=None, fields=None):
+    machine = machine or FakeMachine()
+    outcome = interp.ExecOutcome()
+    compile_block("test", stmts)(machine, fields or {}, outcome)
+    return machine, outcome
+
+
+class TestCompileBlock:
+    def test_basic_register_write(self):
+        machine, outcome = run_compiled(
+            [N.SetReg("x", c32(3), N.BinOp("add", c32(40), c32(2), 32))])
+        assert machine.regs[("x", 3)] == 42
+        assert outcome.next_pc is None and not outcome.halted
+
+    def test_constants_folded_in_source(self):
+        # 40 + 2 is machine-independent: the generated body must carry
+        # the literal 42, not an add at run time.
+        fn = compile_block("test", [
+            N.SetReg("x", c32(3), N.BinOp("add", c32(40), c32(2), 32))])
+        assert "42" in fn.generated_source
+        assert "40" not in fn.generated_source
+
+    def test_field_extraction_hoisted_and_masked(self):
+        fn = compile_block("test", [
+            N.SetReg("x", c32(1), N.Field("imm", 4)),
+            N.SetReg("x", c32(2), N.Field("imm", 4))])
+        # One hoisted `_f0 = F['imm'] & 0xf`, reused by both writes.
+        assert fn.generated_source.count("F['imm']") == 1
+        machine, _ = run_compiled(
+            [N.SetReg("x", c32(1), N.Field("imm", 4))], fields={"imm": 0x1f})
+        assert machine.regs[("x", 1)] == 0xf
+
+    def test_constant_if_branch_eliminated(self):
+        fn = compile_block("test", [
+            N.IfStmt(N.BinOp("eq", c32(1), c32(1), 1),
+                     [N.SetReg("x", c32(1), c32(7))],
+                     [N.SetReg("x", c32(1), c32(9))])])
+        assert "if " not in fn.generated_source
+        assert "9" not in fn.generated_source
+        machine, _ = run_compiled([
+            N.IfStmt(N.BinOp("eq", c32(1), c32(1), 1),
+                     [N.SetReg("x", c32(1), c32(7))],
+                     [N.SetReg("x", c32(1), c32(9))])])
+        assert machine.regs[("x", 1)] == 7
+
+    def test_input_byte_whole_rhs_ok(self):
+        machine, _ = run_compiled(
+            [N.SetLocal("t", N.InputByte()),
+             N.SetReg("x", c32(1), N.InputByte()),
+             N.Output(N.Local("t", 8))],
+            machine=FakeMachine(input_bytes=b"\xab\xcd"))
+        assert machine.regs[("x", 1)] == 0xcd
+        assert machine.outputs == [0xab]
+
+    def test_nested_input_byte_rejected(self):
+        nested = N.BinOp("add", N.Ext("zext", N.InputByte(), 32),
+                         c32(1), 32)
+        with pytest.raises(CompileError, match="right-hand side"):
+            compile_block("test", [N.SetReg("x", c32(1), nested)])
+
+    def test_halt_trap_and_pc(self):
+        _, outcome = run_compiled([N.SetPc(c32(0x2000)), N.Halt(c32(3))])
+        assert outcome.next_pc == 0x2000
+        assert outcome.halted and outcome.exit_code == 3
+        _, outcome = run_compiled([N.Trap(c32(7))])
+        assert outcome.trapped and outcome.trap_code == 7
+
+
+class TestTableCoverage:
+    @pytest.mark.parametrize("target", ALL_TARGETS)
+    def test_every_rule_compiles(self, target):
+        model = build(target)
+        compiled = compiled_for(model)
+        assert set(compiled.concrete) == set(model.by_name)
+        assert set(compiled.plans) == set(model.by_name)
+        assert "generated by repro.compile" in compiled.source
+
+    @pytest.mark.parametrize("target", ALL_TARGETS)
+    def test_symbolic_plans_are_plain_tuples(self, target):
+        # The cache must never hold Term objects — the term pool is
+        # swappable.  Plans are nested tuples of ints/strings/functions.
+        from repro.smt.terms import Term
+
+        def scan(value):
+            assert not isinstance(value, Term)
+            if isinstance(value, tuple):
+                for item in value:
+                    scan(item)
+
+        plans, _source = compile_symbolic(build(target))
+        for plan in plans.values():
+            scan(plan)
+
+
+class TestCache:
+    def test_cache_hit_on_same_digest(self):
+        clear_cache()
+        model = build("rv32")
+        first = compiled_for(model)
+        assert cache_info() == {"entries": 1}
+        # A freshly built model of the same (unchanged) spec digests
+        # identically and must share the compilation.
+        assert compiled_for(build("rv32", fresh=True)) is first
+        assert cache_info() == {"entries": 1}
+
+    def test_clear_cache(self):
+        model = build("rv32")
+        first = compiled_for(model)
+        clear_cache()
+        assert cache_info() == {"entries": 0}
+        assert compiled_for(model) is not first
+
+    def test_spec_edit_invalidates(self, tmp_path):
+        """Editing the spec file changes its digest and forces a
+        recompilation — the cache key is content, not ISA name."""
+        from repro.adl import builtin_spec_path
+        from repro.runstore.provenance import spec_digest
+
+        spec_file = tmp_path / "rv32.adl"
+        shutil.copy(builtin_spec_path("rv32"), spec_file)
+
+        def model_from(path):
+            with open(path) as handle:
+                model = ArchModel(analyze(parse_spec(handle.read())))
+            model.source_path = str(path)
+            return model
+
+        clear_cache()
+        before = model_from(spec_file)
+        first = compiled_for(before)
+        spec_file.write_text(spec_file.read_text()
+                             + "\n# touched by the cache test\n")
+        after = model_from(spec_file)
+        assert spec_digest(after) != first.digest
+        second = compiled_for(after)
+        assert second is not first
+        assert second.digest != first.digest
+        assert cache_info() == {"entries": 2}

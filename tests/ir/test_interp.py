@@ -191,8 +191,44 @@ class TestExecBlock:
         assert outcome.halted
         assert machine.outputs == []
 
-    def test_input_byte_in_assignment(self):
-        machine, _ = run([N.SetReg("x", c32(2),
-                                   N.Ext("zext", N.InputByte(), 32))],
+    def test_input_byte_as_whole_rhs(self):
+        machine, _ = run([N.SetReg("x", c32(2), N.InputByte())],
                          machine=FakeMachine(input_bytes=b"\x7f"))
         assert machine.regs[("x", 2)] == 0x7f
+
+    def test_input_byte_as_whole_local_rhs(self):
+        machine, _ = run([N.SetLocal("b", N.InputByte()),
+                          N.Output(N.Local("b", 8))],
+                         machine=FakeMachine(input_bytes=b"\x42"))
+        assert machine.outputs == [0x42]
+
+    def test_nested_input_byte_rejected(self):
+        # The input cursor is a side effect; nested in() would make its
+        # timing depend on expression evaluation order, which concrete
+        # and symbolic execution need not share.  The translator never
+        # emits this shape, and the interpreter refuses it outright.
+        with pytest.raises(ValueError, match="whole right-hand side"):
+            run([N.SetReg("x", c32(2),
+                          N.Ext("zext", N.InputByte(), 32))],
+                machine=FakeMachine(input_bytes=b"\x7f"))
+
+    def test_input_cursor_advances_in_statement_order(self):
+        machine, _ = run([N.SetLocal("a", N.InputByte()),
+                          N.SetLocal("b", N.InputByte()),
+                          N.Output(N.Local("b", 8)),
+                          N.Output(N.Local("a", 8))],
+                         machine=FakeMachine(input_bytes=b"\x01\x02"))
+        assert machine.outputs == [0x02, 0x01]
+
+    def test_untaken_if_branch_does_not_consume_input(self):
+        # Pins the evaluation-order contract the compiled twins rely on:
+        # an in() in an untaken IfStmt branch must never move the input
+        # cursor, so branch structure alone decides consumption order.
+        machine, _ = run([
+            N.IfStmt(N.Const(0, 1),
+                     [N.SetLocal("a", N.InputByte())],
+                     [N.SetLocal("b", N.InputByte())]),
+            N.Output(N.Local("b", 8)),
+        ], machine=FakeMachine(input_bytes=b"\x11\x22"))
+        assert machine.outputs == [0x11]
+        assert machine.inputs == [0x22]
