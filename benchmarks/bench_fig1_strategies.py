@@ -9,6 +9,7 @@ frontier cost that grows with 2**depth.
 
 import pytest
 
+from repro.bench import Sample, benchmark
 from repro.core import Engine, EngineConfig
 from repro.programs import build_kernel
 
@@ -29,6 +30,17 @@ def run_point(strategy, depth):
     result, wall = timed(engine.explore)
     found = result.first_defect("reachable-trap") is not None
     return found, result, wall
+
+
+@benchmark("fig1.dfs_maze_trap_wall",
+           title="strategies: DFS time to the depth-8 maze trap",
+           suite="full", isas=("rv32",), unit="s", direction="lower",
+           reps=3, warmup=1,
+           workload="maze(depth 8), DFS until the hidden trap is found")
+def _observatory_sample():
+    found, result, wall = run_point("dfs", 8)
+    assert found, "DFS must reach the maze trap"
+    return Sample.from_result(wall, result, wall)
 
 
 def figure_rows():

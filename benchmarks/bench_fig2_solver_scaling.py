@@ -16,6 +16,7 @@ number of (mostly easy) branch queries.
 
 import pytest
 
+from repro.bench import Sample, benchmark
 from repro.core import Engine, EngineConfig
 from repro.programs import build_kernel
 from repro.smt import Solver
@@ -34,6 +35,21 @@ def run_point(kernel, use_filters, **params):
     engine.load_image(image)
     result, wall = timed(engine.explore)
     return result, wall
+
+
+@benchmark("fig2.filter_layers_speedup",
+           title="solver filters: cheap-layer speedup on checksum",
+           suite="full", isas=("rv32",), unit="x", direction="higher",
+           reps=3, warmup=0,
+           workload="checksum(len 4) with intervals+model-cache on vs "
+                    "off")
+def _observatory_sample():
+    full, full_time = run_point("checksum", True, length=4, magic=0x2d2d)
+    _bare, bare_time = run_point("checksum", False, length=4,
+                                 magic=0x2d2d)
+    return Sample(bare_time / full_time if full_time else 0.0,
+                  wall_s=full_time + bare_time,
+                  solver_time_s=full.solver_stats.get("solve_time"))
 
 
 def figure_rows():

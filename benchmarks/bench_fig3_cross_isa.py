@@ -9,6 +9,7 @@ of the portable program, so the generated engines must agree.
 
 import pytest
 
+from repro.bench import Sample, benchmark
 from repro.core import Engine, EngineConfig
 from repro.core.concolic import ConcolicExplorer
 from repro.isa import assemble, build
@@ -47,6 +48,24 @@ def replay(case, target, input_bytes, obs=None):
     explorer = ConcolicExplorer(engine)
     result = explorer.explore(seed=input_bytes, max_runs=1)
     return any(d.kind == case.defect_kind for d in result.defects)
+
+
+@benchmark("fig3.cross_isa_replay_wall",
+           title="cross-ISA replay: magic_trap input on every ISA",
+           suite="full", isas=tuple(ALL_TARGETS), unit="s",
+           direction="lower", reps=3, warmup=1,
+           workload="solver-found magic_trap input from rv32, replayed "
+                    "concolically on all %d ISAs" % len(ALL_TARGETS))
+def _observatory_sample():
+    case = suite.case_by_name("magic_trap")
+    input_bytes = find_input(case, "rv32")
+
+    def replay_all():
+        hits = sum(int(replay(case, target, input_bytes))
+                   for target in ALL_TARGETS)
+        assert hits == len(ALL_TARGETS), "replay must reproduce everywhere"
+    _, wall = timed(replay_all)
+    return Sample(wall, wall_s=wall)
 
 
 def figure_rows(telemetry=None):

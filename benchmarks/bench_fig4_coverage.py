@@ -13,11 +13,12 @@ Not part of the reconstructed paper evaluation — an extension experiment
 
 import pytest
 
+from repro.bench import Sample, benchmark
 from repro.core import Engine, EngineConfig, measure
 from repro.isa.cfg import recover_cfg
 from repro.programs import build_kernel
 
-from _util import print_table
+from _util import print_table, timed
 
 BUDGETS = [50, 100, 200, 400, 800]
 STRATEGIES = ["dfs", "bfs", "random", "coverage"]
@@ -33,6 +34,18 @@ def run_point(strategy, budget):
     cfg = recover_cfg(model, image)
     report = measure(model, image, result.visited_pcs, cfg=cfg)
     return report, result
+
+
+@benchmark("fig4.coverage_strategy_wall",
+           title="coverage strategy: dispatcher at a 400-instr budget",
+           suite="full", isas=("rv32",), unit="s", direction="lower",
+           reps=3, warmup=1,
+           workload="dispatcher(rounds 3), coverage-guided search, "
+                    "400-instruction budget + CFG coverage measurement")
+def _observatory_sample():
+    (report, result), wall = timed(run_point, "coverage", 400)
+    assert report.block_ratio > 0.3, "coverage strategy lost its edge"
+    return Sample.from_result(wall, result, wall)
 
 
 def figure_rows():

@@ -21,6 +21,7 @@ right home.)
 import sys
 import time
 
+from repro.bench import Sample, benchmark
 from repro.core import Engine, EngineConfig
 from repro.obs import AttrConfig, FlightRecorder, HealthConfig, Obs
 from repro.programs import build_kernel
@@ -59,6 +60,19 @@ def best_of(obs_factory, health_factory=None, attr_factory=None,
             repeats: int = REPEATS) -> float:
     return min(run_once(obs_factory, health_factory, attr_factory)
                for _ in range(repeats))
+
+
+@benchmark("obs.counters_overhead",
+           title="telemetry: default-counters overhead vs disabled Obs",
+           suite="full", isas=("rv32",), unit="ratio", direction="lower",
+           expect_max=MAX_OVERHEAD, reps=1, warmup=0,
+           workload="maze(depth 6), best-of-%d per Obs config" % REPEATS)
+def _observatory_sample():
+    run_once(Obs.disabled)      # warm model/decoder caches
+    disabled = best_of(Obs.disabled)
+    counters = best_of(Obs.default)
+    overhead = (counters - disabled) / disabled if disabled else 0.0
+    return Sample(overhead, wall_s=disabled + counters)
 
 
 def main(argv) -> int:

@@ -11,9 +11,26 @@ The pytest-benchmark target times the full bad-variant analysis per ISA
 
 import pytest
 
+from repro.bench import Sample, benchmark
 from repro.programs import suite
 
 from _util import ALL_TARGETS, print_table, timed
+
+
+@benchmark("table2.rv32_detection_wall",
+           title="detection suite: all bad variants on rv32",
+           suite="full", isas=("rv32",), unit="s", direction="lower",
+           reps=3, warmup=1,
+           workload="every suite case's bad variant, build + assemble "
+                    "+ explore, rv32")
+def _observatory_sample():
+    def run_all():
+        for case in suite.all_cases():
+            detected, _result, _input = suite.run_case(case, "rv32",
+                                                       "bad")
+            assert detected, case.name
+    _, wall = timed(run_all)
+    return Sample(wall, wall_s=wall)
 
 
 def matrix_rows():

@@ -21,6 +21,7 @@ path-condition prefixes.
 
 import pytest
 
+from repro.bench import Sample, benchmark
 from repro.core import Engine, EngineConfig
 from repro.programs import build_kernel
 from repro.smt import Solver
@@ -63,6 +64,19 @@ def run_config(kernel, params, hash_consing, simplify, cow,
         return result, wall, pool_stats
     finally:
         T.set_pool(previous)
+
+
+@benchmark("table5.baseline_maze_wall",
+           title="ablation baseline: maze with every optimization on",
+           suite="full", isas=("rv32",), unit="s", direction="lower",
+           reps=3, warmup=1,
+           workload="maze(depth 8), hash-consing + simplify + COW + "
+                    "solver cache all enabled")
+def _observatory_sample():
+    result, wall, _pool_stats = run_config(
+        "maze", {"depth": 8, "solution": 0b10110010},
+        hash_consing=True, simplify=True, cow=True)
+    return Sample.from_result(wall, result, wall)
 
 
 def table_rows():

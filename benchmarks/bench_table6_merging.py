@@ -12,6 +12,7 @@ identical findings (the trap and its replayable input) either way.
 
 import pytest
 
+from repro.bench import Sample, benchmark
 from repro.core import Engine, EngineConfig
 from repro.programs import build_kernel
 
@@ -28,6 +29,22 @@ def run_point(count, merge):
     result, wall = timed(engine.explore)
     merges = engine.strategy.merges if merge else 0
     return result, wall, merges
+
+
+@benchmark("table6.merge_speedup",
+           title="state merging: diamonds(10) merged vs plain",
+           suite="full", isas=("rv32",), unit="x", direction="higher",
+           reps=3, warmup=0,
+           workload="diamonds(count 10) under BFS, merge_states on vs "
+                    "off; findings must agree")
+def _observatory_sample():
+    plain, plain_time, _ = run_point(10, False)
+    merged, merged_time, merges = run_point(10, True)
+    assert merges > 0, "merging must fire on the diamonds kernel"
+    assert (plain.first_defect("reachable-trap") is not None
+            and merged.first_defect("reachable-trap") is not None)
+    return Sample(plain_time / merged_time if merged_time else 0.0,
+                  wall_s=plain_time + merged_time)
 
 
 def table_rows():

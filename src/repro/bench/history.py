@@ -1,0 +1,175 @@
+"""Perf-history ledger: append-only, content-addressed, store-backed.
+
+Each ``repro bench run`` appends one JSONL entry per benchmark to
+``<store-root>/bench/history.jsonl`` (same root resolution as the run
+store: ``--store DIR`` > ``$REPRO_STORE`` > ``~/.repro/store``), so a
+machine accumulates its own perf trajectory across checkouts and PRs.
+
+An entry is keyed on ``(benchmark id, git sha, env digest)`` and
+carries its own ``sha256`` content digest (computed over the canonical
+JSON of the entry minus the ``digest`` field — the same discipline as
+the run store's run ids), which makes the ledger:
+
+* **dedupable** — re-running an identical benchmark at the same
+  revision in the same environment appends nothing new;
+* **tamper-evident** — a hand-edited median no longer matches its
+  digest and the reader drops the entry with a warning;
+* **mergeable** — ledgers from two machines can be concatenated; the
+  env digest keeps their noise bands separate.
+
+The reader is tolerant the way every other sidecar reader in this
+repo is: blank lines are skipped, an unparseable or truncated line (a
+killed writer's last line) is skipped with a warning, and a wrong
+schema version is skipped rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..runstore.provenance import canonical_json
+from ..runstore.store import resolve_store_root
+
+__all__ = ["PerfLedger", "LEDGER_SCHEMA", "entry_digest", "env_digest"]
+
+LEDGER_SCHEMA = "repro-bench/1"
+
+#: Ledger location under the store root.
+LEDGER_RELPATH = os.path.join("bench", "history.jsonl")
+
+
+def env_digest(env: Dict[str, object]) -> str:
+    """Digest of the *stable* environment fields — the "same machine,
+    same toolchain" key component.  Volatile fields (argv, git sha)
+    are deliberately excluded: the sha is its own key component and
+    argv is not an environment."""
+    stable = {key: env.get(key) for key in
+              ("python", "implementation", "platform", "machine",
+               "package_version")}
+    rendered = canonical_json(stable).encode("utf-8")
+    return "sha256:" + hashlib.sha256(rendered).hexdigest()[:24]
+
+
+def entry_digest(entry: Dict[str, object]) -> str:
+    """Content digest of a ledger entry (minus its ``digest`` field)."""
+    payload = {key: val for key, val in entry.items() if key != "digest"}
+    rendered = canonical_json(payload).encode("utf-8")
+    return "sha256:" + hashlib.sha256(rendered).hexdigest()[:32]
+
+
+class PerfLedger:
+    """Append-only perf history under the run store root."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = resolve_store_root(root)
+        self.path = os.path.join(self.root, LEDGER_RELPATH)
+
+    # -- writing -------------------------------------------------------------
+
+    def append_report(self, report: Dict[str, object]) -> List[Dict[str, object]]:
+        """Append one ledger entry per benchmark result in a runner
+        report; returns the entries actually written (content-addressed
+        dedup: an entry whose digest is already present is skipped)."""
+        env = report.get("env") or {}
+        entries = []
+        for result in report.get("results") or []:
+            entry = {
+                "schema": LEDGER_SCHEMA,
+                "bench": result.get("id"),
+                "unix": report.get("generated_unix"),
+                "git_sha": env.get("git_sha"),
+                "env_digest": report.get("env_digest") or env_digest(env),
+                "unit": result.get("unit"),
+                "direction": result.get("direction"),
+                "median": result.get("median"),
+                "mad": result.get("mad"),
+                "reps": result.get("reps"),
+                "samples": [s.get("value") for s in
+                            (result.get("samples") or [])],
+            }
+            entry["digest"] = entry_digest(entry)
+            entries.append(entry)
+        return self.append_entries(entries)
+
+    def append_entries(self, entries: List[Dict[str, object]]
+                       ) -> List[Dict[str, object]]:
+        seen = {e.get("digest") for e, _w in self._read_raw()[0]}
+        fresh = [e for e in entries if e.get("digest") not in seen]
+        if not fresh:
+            return []
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        with open(self.path, "a") as handle:
+            for entry in fresh:
+                handle.write(canonical_json(entry) + "\n")
+        return fresh
+
+    # -- reading -------------------------------------------------------------
+
+    def _read_raw(self) -> Tuple[List[Tuple[Dict[str, object], None]],
+                                 List[str]]:
+        """All well-formed entries + reader warnings.  Missing file is
+        simply an empty history."""
+        import json
+        rows: List[Tuple[Dict[str, object], None]] = []
+        warnings: List[str] = []
+        try:
+            with open(self.path) as handle:
+                lines = handle.read().split("\n")
+        except OSError:
+            return rows, warnings
+        for number, line in enumerate(lines, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                warnings.append("%s:%d: unparseable line skipped"
+                                % (self.path, number))
+                continue
+            if not isinstance(entry, dict):
+                warnings.append("%s:%d: non-object entry skipped"
+                                % (self.path, number))
+                continue
+            if entry.get("schema") != LEDGER_SCHEMA:
+                warnings.append("%s:%d: unknown schema %r skipped"
+                                % (self.path, number,
+                                   entry.get("schema")))
+                continue
+            if entry.get("digest") != entry_digest(entry):
+                warnings.append("%s:%d: digest mismatch (tampered or "
+                                "corrupt) skipped"
+                                % (self.path, number))
+                continue
+            rows.append((entry, None))
+        return rows, warnings
+
+    def entries(self, bench_id: Optional[str] = None
+                ) -> Tuple[List[Dict[str, object]], List[str]]:
+        """(entries, warnings) — chronological; optionally one bench."""
+        rows, warnings = self._read_raw()
+        entries = [entry for entry, _ in rows
+                   if bench_id is None or entry.get("bench") == bench_id]
+        entries.sort(key=lambda e: (e.get("unix") or 0.0))
+        return entries, warnings
+
+    def series(self, bench_id: str,
+               env: Optional[str] = None) -> List[float]:
+        """The chronological median series of one benchmark (optionally
+        restricted to one env digest), for changepoint scans."""
+        entries, _ = self.entries(bench_id)
+        values = []
+        for entry in entries:
+            if env is not None and entry.get("env_digest") != env:
+                continue
+            value = entry.get("median")
+            if isinstance(value, (int, float)):
+                values.append(float(value))
+        return values
+
+    def bench_ids(self) -> List[str]:
+        entries, _ = self.entries()
+        return sorted({str(e.get("bench")) for e in entries
+                       if e.get("bench")})

@@ -74,6 +74,11 @@ class DiffRow:
         self.flag = flag        # "ok" | "regression" | "improvement"
         #                       | "changed" | "new" | "gone"
 
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "a": self.a, "b": self.b,
+                "direction": self.direction,
+                "delta_ratio": self.delta_ratio, "flag": self.flag}
+
 
 def _summary(run: RunFile) -> Dict[str, object]:
     return run.run_summary() or {}
@@ -165,6 +170,18 @@ class RunComparison:
     @property
     def improvements(self) -> List[DiffRow]:
         return [row for row in self.rows if row.flag == "improvement"]
+
+    def to_dict(self) -> Dict[str, object]:
+        """The exact payload the exit-code logic sees — ``repro
+        diffstats --json`` and CI consume this one format."""
+        return {
+            "baseline": self.path_a,
+            "candidate": self.path_b,
+            "threshold": self.threshold,
+            "rows": [row.to_dict() for row in self.rows],
+            "regressions": len(self.regressions),
+            "improvements": len(self.improvements),
+        }
 
     def report(self) -> str:
         """Human-readable comparison table."""

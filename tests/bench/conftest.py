@@ -1,0 +1,28 @@
+"""Shared fixtures for the performance-observatory tests.
+
+The benchmark registry is process-global and discovery caches imported
+``bench_*`` modules in ``sys.modules``; both must be reset around every
+test so a synthetic registration from one test cannot leak into the
+suite selection of the next.
+"""
+
+import sys
+
+import pytest
+
+from repro.bench import clear_registry
+
+
+def _drop_bench_modules():
+    for name in [name for name in sys.modules
+                 if name.startswith("repro_benchmarks.")]:
+        del sys.modules[name]
+
+
+@pytest.fixture(autouse=True)
+def clean_bench_state():
+    clear_registry()
+    _drop_bench_modules()
+    yield
+    clear_registry()
+    _drop_bench_modules()

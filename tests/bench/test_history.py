@@ -1,0 +1,127 @@
+"""Perf-history ledger: round trips, content-addressed dedup, and a
+reader that survives corruption the same way every sidecar reader in
+this repo does."""
+
+import json
+
+from repro.bench import (LEDGER_SCHEMA, Benchmark, PerfLedger,
+                         entry_digest, env_digest, register,
+                         run_benchmarks)
+
+
+def _report():
+    register(Benchmark("syn.a", lambda: 2.0, suite="quick", unit="x",
+                       direction="higher", reps=3, warmup=0))
+    register(Benchmark("syn.b", lambda: 0.5, suite="quick", unit="s",
+                       direction="lower", reps=3, warmup=0))
+    from repro.bench import all_benchmarks
+    return run_benchmarks(all_benchmarks(), suite="quick")
+
+
+class TestRoundTrip:
+    def test_append_then_read(self, tmp_path):
+        ledger = PerfLedger(str(tmp_path))
+        written = ledger.append_report(_report())
+        assert len(written) == 2
+        entries, warnings = ledger.entries()
+        assert warnings == []
+        assert sorted(e["bench"] for e in entries) == ["syn.a", "syn.b"]
+        assert all(e["schema"] == LEDGER_SCHEMA for e in entries)
+        assert ledger.series("syn.a") == [2.0]
+        assert ledger.bench_ids() == ["syn.a", "syn.b"]
+
+    def test_entry_carries_key_fields(self, tmp_path):
+        ledger = PerfLedger(str(tmp_path))
+        report = _report()
+        ledger.append_report(report)
+        entry = ledger.entries("syn.a")[0][0]
+        assert entry["env_digest"] == report["env_digest"]
+        assert entry["samples"] == [2.0, 2.0, 2.0]
+        assert entry["digest"] == entry_digest(entry)
+
+    def test_identical_report_dedups(self, tmp_path):
+        ledger = PerfLedger(str(tmp_path))
+        report = _report()
+        assert len(ledger.append_report(report)) == 2
+        assert ledger.append_report(report) == []
+        assert len(ledger.entries()[0]) == 2
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        ledger = PerfLedger(str(tmp_path))
+        assert ledger.entries() == ([], [])
+        assert ledger.series("anything") == []
+
+
+class TestReaderTolerance:
+    def _seed(self, tmp_path):
+        ledger = PerfLedger(str(tmp_path))
+        ledger.append_report(_report())
+        return ledger
+
+    def test_unparseable_line_skipped_with_warning(self, tmp_path):
+        ledger = self._seed(tmp_path)
+        with open(ledger.path, "a") as handle:
+            handle.write("{not json\n")
+        entries, warnings = ledger.entries()
+        assert len(entries) == 2
+        assert len(warnings) == 1 and "unparseable" in warnings[0]
+
+    def test_truncated_trailing_line_skipped(self, tmp_path):
+        # The usual artifact of a killed writer.
+        ledger = self._seed(tmp_path)
+        with open(ledger.path, "a") as handle:
+            handle.write('{"schema": "repro-bench/1", "bench": "tr')
+        entries, warnings = ledger.entries()
+        assert len(entries) == 2
+        assert len(warnings) == 1
+
+    def test_wrong_schema_skipped(self, tmp_path):
+        ledger = self._seed(tmp_path)
+        with open(ledger.path, "a") as handle:
+            handle.write(json.dumps({"schema": "repro-bench/99",
+                                     "bench": "future"}) + "\n")
+        entries, warnings = ledger.entries()
+        assert len(entries) == 2
+        assert "unknown schema" in warnings[0]
+
+    def test_tampered_entry_dropped(self, tmp_path):
+        # Hand-editing a median breaks the content digest.
+        ledger = self._seed(tmp_path)
+        with open(ledger.path) as handle:
+            lines = [line for line in handle.read().splitlines() if line]
+        entry = json.loads(lines[0])
+        entry["median"] = 99.0
+        with open(ledger.path, "w") as handle:
+            handle.write(json.dumps(entry) + "\n")
+            handle.write(lines[1] + "\n")
+        entries, warnings = ledger.entries()
+        assert len(entries) == 1
+        assert "digest mismatch" in warnings[0]
+
+    def test_non_object_line_skipped(self, tmp_path):
+        ledger = self._seed(tmp_path)
+        with open(ledger.path, "a") as handle:
+            handle.write("[1, 2, 3]\n\n")
+        entries, warnings = ledger.entries()
+        assert len(entries) == 2
+        assert "non-object" in warnings[0]
+
+
+class TestDigests:
+    def test_env_digest_ignores_volatile_fields(self):
+        env = {"python": "3.11.0", "implementation": "CPython",
+               "platform": "linux", "machine": "x86_64",
+               "package_version": "0.9"}
+        base = env_digest(env)
+        assert env_digest(dict(env, git_sha="deadbeef",
+                               argv=["x"])) == base
+        assert env_digest(dict(env, python="3.12.0")) != base
+
+    def test_entry_digest_changes_with_content(self):
+        entry = {"schema": LEDGER_SCHEMA, "bench": "syn.a",
+                 "median": 2.0}
+        assert entry_digest(entry) != entry_digest(
+            dict(entry, median=2.1))
+        # The digest field itself is excluded from the hash.
+        stamped = dict(entry, digest=entry_digest(entry))
+        assert entry_digest(stamped) == entry_digest(entry)
