@@ -1173,7 +1173,8 @@ def cmd_lint(args) -> int:
                          "pass --all\n")
         return 2
     try:
-        config = lint.LintConfig(enable=args.enable, disable=args.disable)
+        config = lint.LintConfig(enable=args.enable, disable=args.disable,
+                                 families=args.family)
         config.selected_passes()  # fail fast on unknown pass ids
     except KeyError as error:
         sys.stderr.write("error: %s\n" % error.args[0])
@@ -1642,6 +1643,10 @@ def main(argv=None) -> int:
     lint.add_argument("--disable", action="append", default=[],
                       metavar="PASS",
                       help="skip these passes (repeatable)")
+    lint.add_argument("--family", action="append", default=[],
+                      metavar="FAMILY",
+                      help="run only these pass families (structural, "
+                           "smt, transval; repeatable)")
     lint.add_argument("--list-passes", action="store_true",
                       help="list registered passes and exit")
     lint.add_argument("--timings", action="store_true",

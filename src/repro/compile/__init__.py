@@ -10,10 +10,14 @@ Decode -> semantics dispatch becomes one per-ISA table lookup.
 Cache discipline
 ----------------
 Compiled tables are cached in-process keyed on ``(isa name,
-spec_digest)`` — the same content digest the run store uses for
-provenance (:func:`repro.runstore.provenance.spec_digest`).  Editing a
-spec changes its digest, which transparently regenerates the table;
-models rebuilt from an unchanged spec share the cached compilation.
+spec_digest, CODEGEN_VERSION)`` — the content digest the run store
+uses for provenance (:func:`repro.runstore.provenance.spec_digest`)
+plus a bump-on-change codegen version, so editing a spec *or* the code
+generator itself transparently regenerates the table; models rebuilt
+from an unchanged spec under an unchanged generator share the cached
+compilation.  Translation-validation certificates
+(:mod:`repro.runstore.certs`) key on the same pair, so a stale
+"verified" verdict can never outlive the generator that earned it.
 The cache holds only generated *functions and plan tuples* — never
 :class:`repro.smt.terms.Term` objects, because the term pool is
 swappable and cached terms would dangle across ``terms.configure()``.
@@ -39,21 +43,29 @@ from .concrete import compile_block, compile_concrete  # noqa: F401
 from .errors import CompileError  # noqa: F401
 from .symbolic import compile_symbolic, exec_block  # noqa: F401
 
-__all__ = ["CompiledSemantics", "CompileError", "compiled_for",
-           "compile_block", "compile_concrete", "compile_symbolic",
-           "clear_cache", "cache_info"]
+__all__ = ["CODEGEN_VERSION", "CompiledSemantics", "CompileError",
+           "compiled_for", "compile_block", "compile_concrete",
+           "compile_symbolic", "clear_cache", "cache_info"]
+
+#: Version of the code generators themselves.  Bump whenever
+#: :mod:`repro.compile.concrete` or :mod:`repro.compile.symbolic`
+#: change the code they emit: it invalidates the in-process compilation
+#: cache and every translation-validation certificate keyed on the old
+#: generator's output.
+CODEGEN_VERSION = 2
 
 
 class CompiledSemantics:
     """One ISA's compiled transfer functions, keyed by spec digest."""
 
-    __slots__ = ("isa", "digest", "concrete", "plans",
+    __slots__ = ("isa", "digest", "codegen_version", "concrete", "plans",
                  "concrete_source", "symbolic_source")
 
     def __init__(self, isa: str, digest: str, concrete, plans,
                  concrete_source: str, symbolic_source: str):
         self.isa = isa
         self.digest = digest
+        self.codegen_version = CODEGEN_VERSION
         #: instruction name -> fn(ctx, fields, outcome)
         self.concrete = concrete
         #: instruction name -> plan tuple for symbolic.exec_block
@@ -71,18 +83,20 @@ class CompiledSemantics:
             self.isa, self.digest[:18], len(self.plans))
 
 
-_CACHE: Dict[Tuple[str, str], CompiledSemantics] = {}
+_CACHE: Dict[Tuple[str, str, int], CompiledSemantics] = {}
 
 
 def compiled_for(model) -> CompiledSemantics:
     """The (cached) compiled semantics for ``model``.
 
-    Cache key is ``(model.name, spec_digest(model))``: an edited spec
-    digests differently and is recompiled; an unchanged spec — even
-    through a fresh :func:`repro.isa.build` — hits the cache.
+    Cache key is ``(model.name, spec_digest(model),
+    CODEGEN_VERSION)``: an edited spec digests differently and is
+    recompiled, and so is every spec after a generator change; an
+    unchanged spec under an unchanged generator — even through a fresh
+    :func:`repro.isa.build` — hits the cache.
     """
     digest = spec_digest(model)
-    key = (model.name, digest)
+    key = (model.name, digest, CODEGEN_VERSION)
     compiled = _CACHE.get(key)
     if compiled is None:
         concrete, concrete_source = compile_concrete(model)

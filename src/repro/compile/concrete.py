@@ -410,6 +410,7 @@ def compile_concrete(model) -> Tuple[Dict[str, object], str]:
     chunks = ["# generated by repro.compile — concrete semantics for %r"
               % model.name]
     table_rows = []
+    rule_sources: Dict[str, str] = {}
     namespace = dict(_HELPERS)
     for position, instr in enumerate(model.instructions):
         emitter = _FunctionEmitter("_c%d" % position)
@@ -419,10 +420,16 @@ def compile_concrete(model) -> Tuple[Dict[str, object], str]:
             raise CompileError("%s: rule %r: %s"
                                % (model.name, instr.name, error))
         chunks.append("# rule %r" % instr.name)
-        chunks.append(emitter.source())
+        rule_sources[instr.name] = emitter.source()
+        chunks.append(rule_sources[instr.name])
         table_rows.append("    %r: _c%d," % (instr.name, position))
     chunks.append("CONCRETE = {\n%s\n}" % "\n".join(table_rows))
     source = "\n\n".join(chunks) + "\n"
     exec(compile(source, "<repro.compile:%s:concrete>" % model.name,
                  "exec"), namespace)
-    return namespace["CONCRETE"], source
+    table = namespace["CONCRETE"]
+    for name, fn in table.items():
+        # Per-rule introspection hook: the translation validator
+        # re-evaluates exactly the source this function was built from.
+        fn.generated_source = rule_sources[name]
+    return table, source

@@ -3,10 +3,12 @@
 A pluggable pass framework over the ADL front end and the generated IR:
 *structural* passes walk the AST/IR (use-before-def, dead assignments,
 width mismatches, shadowed decode rules, syntax/operand hygiene, missing
-PC updates on branches, flag-write completeness) and *SMT proof* passes
+PC updates on branches, flag-write completeness), *SMT proof* passes
 pose solver queries over the full encoding space (decode ambiguity with
 concrete witness words, decoder completeness, assembler->decoder
-round-trip, semantic sanity obligations).
+round-trip, semantic sanity obligations), and *transval* passes
+statically prove the compiled transfer functions equivalent to the
+reference IR (:mod:`repro.lint.transval` over :mod:`repro.verify`).
 
 Entry points: :func:`run_lint` / :func:`run_lint_all` drive the passes;
 :mod:`repro.lint.report` renders text / JSON / SARIF;
@@ -15,8 +17,10 @@ workflow.  ``repro lint`` is the CLI surface; see ``docs/LINT.md``.
 """
 
 from .base import (  # noqa: F401
+    FAMILIES,
     SMT,
     STRUCTURAL,
+    TRANSVAL,
     LintContext,
     LintPass,
     all_passes,
@@ -46,12 +50,13 @@ from .runner import (  # noqa: F401
 # Importing the pass modules registers every shipped pass.
 from . import structural  # noqa: F401,E402
 from . import proofs  # noqa: F401,E402
+from . import transval  # noqa: F401,E402
 
 __all__ = [
     "ERROR", "WARN", "INFO", "SEVERITIES", "severity_rank",
     "Finding", "PassTiming", "LintReport",
     "LintPass", "LintContext", "register", "all_passes", "pass_by_id",
-    "STRUCTURAL", "SMT",
+    "STRUCTURAL", "SMT", "TRANSVAL", "FAMILIES",
     "Baseline", "load_baseline", "write_baseline",
     "render_text", "render_json", "render_sarif", "FORMATS",
     "LintConfig", "LintError", "run_lint", "run_lint_all", "resolve_spec",

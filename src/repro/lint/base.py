@@ -27,10 +27,16 @@ from ..ir import nodes as N
 from .findings import Finding
 
 __all__ = ["LintPass", "LintContext", "register", "all_passes",
-           "pass_by_id", "STRUCTURAL", "SMT"]
+           "pass_by_id", "STRUCTURAL", "SMT", "TRANSVAL", "FAMILIES"]
 
 STRUCTURAL = "structural"
 SMT = "smt"
+TRANSVAL = "transval"
+
+#: Every pass family, in execution-group order: structural AST/IR
+#: walks, SMT proof passes over the encoding space, translation
+#: validation of the compiled transfer functions.
+FAMILIES = (STRUCTURAL, SMT, TRANSVAL)
 
 _REGISTRY: Dict[str, "LintPass"] = {}
 
@@ -140,7 +146,7 @@ class LintPass:
     #: One-line description (shown by ``repro lint --list-passes`` and
     #: exported as the SARIF rule description).
     title: str = ""
-    #: ``structural`` or ``smt``.
+    #: ``structural``, ``smt``, or ``transval``.
     family: str = STRUCTURAL
     #: Default severity of this pass's findings (individual findings may
     #: override).
@@ -174,11 +180,19 @@ def register(pass_cls):
 
 
 def all_passes() -> List[LintPass]:
-    """Registered passes: structural passes first, then SMT proof
-    passes, each group in registration order."""
+    """Registered passes grouped by family (:data:`FAMILIES` order:
+    structural, smt, transval), each group in registration order."""
     ordered = list(_REGISTRY.values())
-    return ([p for p in ordered if p.family == STRUCTURAL]
-            + [p for p in ordered if p.family != STRUCTURAL])
+    rank = {family: position for position, family in enumerate(FAMILIES)}
+    groups: List[List[LintPass]] = [[] for _ in FAMILIES]
+    tail: List[LintPass] = []
+    for lint_pass in ordered:
+        position = rank.get(lint_pass.family)
+        if position is None:
+            tail.append(lint_pass)
+        else:
+            groups[position].append(lint_pass)
+    return [p for group in groups for p in group] + tail
 
 
 def pass_by_id(pass_id: str) -> LintPass:

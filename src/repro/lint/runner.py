@@ -23,7 +23,8 @@ from ..adl.errors import AdlError
 from ..adl.translate import set_ir_validation, translate_instruction
 from ..ir import nodes as N
 from ..obs import Obs
-from .base import LintContext, LintPass, all_passes, pass_by_id
+from .base import (FAMILIES, LintContext, LintPass, all_passes,
+                   pass_by_id)
 from .findings import ERROR, INFO, WARN, LintReport, PassTiming
 
 __all__ = ["LintConfig", "run_lint", "run_lint_all", "resolve_spec",
@@ -39,22 +40,35 @@ class LintConfig:
 
     def __init__(self, enable: Optional[Sequence[str]] = None,
                  disable: Optional[Sequence[str]] = None,
-                 solver_factory: Optional[Callable] = None):
+                 solver_factory: Optional[Callable] = None,
+                 families: Optional[Sequence[str]] = None):
         #: When non-empty, run *only* these pass ids.
         self.enable = list(enable) if enable else []
         #: Pass ids to skip (applied after ``enable``).
         self.disable = list(disable) if disable else []
+        #: When non-empty, restrict to these pass families
+        #: (``--family transval`` runs just the translation validator).
+        self.families = list(families) if families else []
         self.solver_factory = solver_factory
 
     def selected_passes(self) -> List[LintPass]:
-        """Resolve the enable/disable selection against the registry.
+        """Resolve the family/enable/disable selection against the
+        registry.
 
-        Unknown ids raise ``KeyError`` immediately (a typo in
-        ``--enable`` should not silently lint nothing).
+        Unknown ids or families raise immediately (a typo in
+        ``--enable``/``--family`` should not silently lint nothing).
         """
         for pass_id in list(self.enable) + list(self.disable):
             pass_by_id(pass_id)  # raises on unknown id
+        for family in self.families:
+            if family not in FAMILIES:
+                raise KeyError("unknown lint pass family %r (have: %s)"
+                               % (family, ", ".join(FAMILIES)))
         selected = all_passes()
+        if self.families:
+            wanted_families = set(self.families)
+            selected = [p for p in selected
+                        if p.family in wanted_families]
         if self.enable:
             wanted = set(self.enable)
             selected = [p for p in selected if p.id in wanted]

@@ -17,6 +17,11 @@ CLI: ``repro record`` / ``repro replay`` / ``repro runs`` and
 ``repro explore --store``; see docs/OBSERVABILITY.md.
 """
 
+from .certs import (  # noqa: F401
+    certificate_key,
+    load_certificate,
+    save_certificate,
+)
 from .fingerprint import (  # noqa: F401
     STRUCTURAL_KINDS,
     canonical_events,
@@ -50,4 +55,5 @@ __all__ = ["RunStore", "RunStoreError", "StoredRun", "cached_explore",
            "STRUCTURAL_KINDS", "canonical_events", "tree_fingerprint",
            "leaves_fingerprint", "defects_fingerprint",
            "first_divergence",
-           "environment_snapshot", "spec_digest", "file_digest"]
+           "environment_snapshot", "spec_digest", "file_digest",
+           "certificate_key", "load_certificate", "save_certificate"]

@@ -1,0 +1,39 @@
+"""Translation validation for compiled transfer functions.
+
+Statically proves the artifacts :mod:`repro.compile` emits — symbolic
+plans and generated concrete Python — equivalent to the reference IR
+semantics, rule by rule, over a fully symbolic pre-state.  Surfaces as
+the ``transval-*`` lint pass family; see ``docs/LINT.md``.
+"""
+
+from .core import (
+    COUNTEREXAMPLE,
+    PROVED,
+    UNSUPPORTED,
+    VALIDATOR_VERSION,
+    Counterexample,
+    RuleResult,
+    seeded_mutation,
+    verify_model,
+    verify_rule,
+)
+from .obligations import TIERS, ComparisonError, Mismatch, compare_paths
+from .state import MachineState, PreState
+
+__all__ = [
+    "COUNTEREXAMPLE",
+    "PROVED",
+    "UNSUPPORTED",
+    "VALIDATOR_VERSION",
+    "TIERS",
+    "ComparisonError",
+    "Counterexample",
+    "MachineState",
+    "Mismatch",
+    "PreState",
+    "RuleResult",
+    "compare_paths",
+    "seeded_mutation",
+    "verify_model",
+    "verify_rule",
+]

@@ -1,0 +1,526 @@
+"""Symbolic evaluation of *generated concrete Python* source.
+
+The deepest layer of the translation validator: instead of trusting
+that :mod:`repro.compile.concrete` emitted what its plan meant, this
+module parses the emitted function with :mod:`ast` and executes it
+symbolically — so a wrong mask literal, a reused walrus temp, a dropped
+sign-extension or a reordered effect in the *generated text itself*
+produces a counterexample, even when the generator's internal plan was
+right.
+
+Python ints are unbounded, so values are modeled exactly by
+:class:`SymInt`: a bitvector term plus a signedness flag, where the
+Python value is the term's unsigned (or two's-complement) reading.
+Every arithmetic rule widens enough that no information is lost —
+``a + b`` at ``max+1`` bits, ``a * b`` at ``wa+wb``, ``~a`` at a signed
+``w+1`` — and the masking the generated code performs (``& 0xffffffff``)
+is folded back down through :func:`repro.smt.normalize.lower`, so the
+evaluated result usually hash-conses to the very term the reference IR
+evaluation built.  The emitted sign-reinterpretation idiom
+``((_w := x) - ((_w & 0x80..0) << 1))`` is recognized structurally and
+becomes a signedness flip on the same term — which makes generated
+signed comparisons meet the reference's ``slt`` by pointer identity.
+The recognition is deliberately exact: a seeded mutation of the sign
+literal fails the pattern and is evaluated generically, i.e. with the
+mutated semantics.
+
+Machine interaction (``C.read_reg``/``C.load``/``C.store``/…) routes
+through the shared :class:`~repro.verify.state.MachineState`; ``if``
+statements with symbolic conditions fork paths exactly like
+:mod:`repro.ir.symexec`, and lazy ternaries with symbolic conditions
+evaluate both arms (the reference evaluator's convention, so effect
+logs stay aligned).  Only the grammar the concrete emitter produces is
+supported; anything else raises :class:`PyEvalError`, which the lint
+pass surfaces as an explicit WARN — never a silent skip.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from ..smt import terms as T
+from ..ir.symexec import Path, SymOutcome
+from .state import MachineState
+
+__all__ = ["SymInt", "PyEvalError", "exec_function"]
+
+
+class PyEvalError(Exception):
+    """The generated source uses a construct this evaluator can't model."""
+
+
+class SymInt:
+    """An exact symbolic Python int: ``term`` read unsigned, or as
+    two's complement when ``signed``."""
+
+    __slots__ = ("term", "signed")
+
+    def __init__(self, term: T.Term, signed: bool = False):
+        self.term = term
+        self.signed = signed
+
+    @property
+    def width(self) -> int:
+        return self.term.width
+
+    def __repr__(self) -> str:
+        return "SymInt(%r, signed=%r)" % (self.term, self.signed)
+
+
+def _lit(value: int) -> SymInt:
+    if value >= 0:
+        return SymInt(T.bv(value, max(value.bit_length(), 1)), False)
+    width = value.bit_length() + 1
+    return SymInt(T.bv(value & T.mask(width), width), True)
+
+
+def _scw(x: SymInt) -> int:
+    """Smallest *signed* width that holds ``x`` exactly."""
+    return x.width if x.signed else x.width + 1
+
+
+def _grow(x: SymInt, width: int) -> T.Term:
+    """``x``'s exact value at ``width >= x.width`` bits."""
+    if width == x.width:
+        return x.term
+    extra = width - x.width
+    return T.sext(x.term, extra) if x.signed else T.zext(x.term, extra)
+
+
+class _Evaluator:
+    """One rule's symbolic execution over the generated function body."""
+
+    _CMP_UNSIGNED = {ast.Lt: T.ult, ast.LtE: T.ule, ast.Gt: T.ugt,
+                     ast.GtE: T.uge, ast.Eq: T.eq, ast.NotEq: T.ne}
+    _CMP_SIGNED = {ast.Lt: T.slt, ast.LtE: T.sle, ast.Gt: T.sgt,
+                   ast.GtE: T.sge, ast.Eq: T.eq, ast.NotEq: T.ne}
+
+    def __init__(self, fields: Dict[str, T.Term]):
+        self.fields = fields
+
+    # -- value plumbing ------------------------------------------------------
+
+    def to_bits(self, x: SymInt, width: int,
+                machine: MachineState) -> T.Term:
+        """Low ``width`` bits of ``x``'s two's-complement value."""
+        if x.width == width:
+            return x.term
+        if x.width > width:
+            return machine.pre.canon(x.term, width)
+        return _grow(x, width)
+
+    def to_bool(self, x: SymInt) -> T.Term:
+        if x.width == 1 and not x.signed:
+            return x.term
+        return T.ne(x.term, T.bv(0, x.width))
+
+    # -- expressions ---------------------------------------------------------
+
+    def eval(self, node: ast.expr, env: Dict[str, SymInt],
+             machine: MachineState):
+        if isinstance(node, ast.Constant):
+            if node.value is None or node.value is True \
+                    or node.value is False:
+                return node.value
+            if isinstance(node.value, int):
+                return _lit(node.value)
+            raise PyEvalError("unsupported literal %r" % (node.value,))
+        if isinstance(node, ast.Name):
+            try:
+                return env[node.id]
+            except KeyError:
+                raise PyEvalError("unbound name %r" % node.id)
+        if isinstance(node, ast.NamedExpr):
+            value = self.eval(node.value, env, machine)
+            if not isinstance(node.target, ast.Name):
+                raise PyEvalError("unsupported walrus target")
+            env[node.target.id] = value
+            return value
+        if isinstance(node, ast.Subscript):
+            return self._field(node)
+        if isinstance(node, ast.UnaryOp):
+            return self._unary(node, env, machine)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node, env, machine)
+        if isinstance(node, ast.Compare):
+            return self._compare(node, env, machine)
+        if isinstance(node, ast.IfExp):
+            return self._ternary(node, env, machine)
+        if isinstance(node, ast.Call):
+            return self._call(node, env, machine)
+        raise PyEvalError("unsupported expression %s"
+                          % type(node).__name__)
+
+    def _field(self, node: ast.Subscript) -> SymInt:
+        if not (isinstance(node.value, ast.Name)
+                and node.value.id == "F"
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)):
+            raise PyEvalError("unsupported subscript")
+        name = node.slice.value
+        term = self.fields.get(name)
+        if term is None:
+            raise PyEvalError("unknown field %r" % name)
+        return SymInt(term, False)
+
+    def _unary(self, node: ast.UnaryOp, env, machine) -> SymInt:
+        if isinstance(node.op, ast.USub) \
+                and isinstance(node.operand, ast.Constant) \
+                and isinstance(node.operand.value, int):
+            return _lit(-node.operand.value)
+        x = self.eval(node.operand, env, machine)
+        if isinstance(node.op, ast.USub):
+            width = _scw(x) + 1
+            return SymInt(T.sub(T.bv(0, width), _grow(x, width)), True)
+        if isinstance(node.op, ast.Invert):
+            width = _scw(x)
+            return SymInt(T.not_(_grow(x, width)), True)
+        raise PyEvalError("unsupported unary op %s"
+                          % type(node.op).__name__)
+
+    def _signed_trick(self, node: ast.BinOp, left: SymInt,
+                      env: Dict[str, SymInt]) -> Optional[SymInt]:
+        """Recognize ``(_w := x) - ((_w & SIGN) << 1)`` exactly."""
+        if not isinstance(node.left, ast.NamedExpr) or left.signed:
+            return None
+        temp = node.left.target.id
+        right = node.right
+        if not (isinstance(right, ast.BinOp)
+                and isinstance(right.op, ast.LShift)
+                and isinstance(right.right, ast.Constant)
+                and right.right.value == 1):
+            return None
+        inner = right.left
+        if not (isinstance(inner, ast.BinOp)
+                and isinstance(inner.op, ast.BitAnd)
+                and isinstance(inner.left, ast.Name)
+                and inner.left.id == temp
+                and isinstance(inner.right, ast.Constant)
+                and isinstance(inner.right.value, int)):
+            return None
+        sign = inner.right.value
+        if sign == 1 << (left.width - 1):
+            return SymInt(left.term, True)
+        if sign != 0 and sign & (sign - 1) == 0 \
+                and sign >= (1 << left.width):
+            # The value provably misses the sign bit (our representation
+            # already shrank below it): the reinterpretation is identity.
+            return left
+        return None  # mutated/odd sign literal: evaluate generically
+
+    def _binop(self, node: ast.BinOp, env, machine) -> SymInt:
+        a = self.eval(node.left, env, machine)
+        if isinstance(node.op, ast.Sub):
+            trick = self._signed_trick(node, a, env)
+            if trick is not None:
+                return trick
+        b = self.eval(node.right, env, machine)
+        op = node.op
+        if isinstance(op, ast.Add):
+            if a.signed or b.signed:
+                width = max(_scw(a), _scw(b)) + 1
+                return SymInt(T.add(_grow(a, width), _grow(b, width)),
+                              True)
+            width = max(a.width, b.width) + 1
+            return SymInt(T.add(_grow(a, width), _grow(b, width)), False)
+        if isinstance(op, ast.Sub):
+            # boolnot: ``1 - (x & 1)`` over a 1-bit value is ``not``.
+            if a.term.is_const() and a.term.value == 1 \
+                    and not a.signed and b.width == 1 and not b.signed:
+                return SymInt(T.not_(b.term), False)
+            width = max(_scw(a), _scw(b)) + 1
+            return SymInt(T.sub(_grow(a, width), _grow(b, width)), True)
+        if isinstance(op, ast.Mult):
+            if not a.signed and not b.signed:
+                width = a.width + b.width
+                return SymInt(T.mul(_grow(a, width), _grow(b, width)),
+                              False)
+            width = _scw(a) + _scw(b)
+            return SymInt(T.mul(_grow(a, width), _grow(b, width)), True)
+        if isinstance(op, ast.BitAnd):
+            return self._bitand(a, b, machine)
+        if isinstance(op, (ast.BitOr, ast.BitXor)):
+            build = T.or_ if isinstance(op, ast.BitOr) else T.xor
+            if not a.signed and not b.signed:
+                width = max(a.width, b.width)
+                return SymInt(build(_grow(a, width), _grow(b, width)),
+                              False)
+            width = max(_scw(a), _scw(b))
+            return SymInt(build(_grow(a, width), _grow(b, width)), True)
+        if isinstance(op, ast.LShift):
+            return self._shift_left(a, b)
+        if isinstance(op, ast.RShift):
+            return self._shift_right(a, b)
+        raise PyEvalError("unsupported binary op %s"
+                          % type(op).__name__)
+
+    def _bitand(self, a: SymInt, b: SymInt,
+                machine: MachineState) -> SymInt:
+        # Infinite two's-complement AND; a non-negative operand bounds
+        # the result, so the representation re-shrinks to its width —
+        # this is where the generated ``& mask`` collapses back onto
+        # the reference term.
+        if not a.signed and not b.signed:
+            width = max(a.width, b.width)
+            raw = T.and_(_grow(a, width), _grow(b, width))
+            narrow = min(a.width, b.width)
+            return SymInt(machine.pre.canon(raw, narrow), False)
+        if a.signed and b.signed:
+            width = max(a.width, b.width)
+            return SymInt(T.and_(_grow(a, width), _grow(b, width)), True)
+        unsigned, other = (a, b) if not a.signed else (b, a)
+        width = max(_scw(a), _scw(b))
+        raw = T.and_(_grow(a, width), _grow(b, width))
+        return SymInt(machine.pre.canon(raw, unsigned.width), False)
+
+    def _shift_left(self, a: SymInt, b: SymInt) -> SymInt:
+        if not (b.term.is_const() and not b.signed):
+            raise PyEvalError("symbolic shift amount outside helper")
+        amount = b.term.value
+        if amount == 0:
+            return a
+        width = a.width + amount
+        return SymInt(T.shl(_grow(a, width), T.bv(amount, width)),
+                      a.signed)
+
+    def _shift_right(self, a: SymInt, b: SymInt) -> SymInt:
+        if not (b.term.is_const() and not b.signed):
+            raise PyEvalError("symbolic shift amount outside helper")
+        amount = b.term.value
+        if amount == 0:
+            return a
+        if a.signed:
+            clamped = min(amount, a.width - 1)
+            return SymInt(T.ashr(a.term, T.bv(clamped, a.width)), True)
+        if amount >= a.width:
+            return _lit(0)
+        return SymInt(T.lshr(a.term, T.bv(amount, a.width)), False)
+
+    def _compare(self, node: ast.Compare, env, machine) -> SymInt:
+        if len(node.ops) != 1:
+            raise PyEvalError("chained comparison")
+        a = self.eval(node.left, env, machine)
+        b = self.eval(node.comparators[0], env, machine)
+        op = type(node.ops[0])
+        if not a.signed and not b.signed:
+            build = self._CMP_UNSIGNED.get(op)
+            width = max(a.width, b.width)
+        else:
+            build = self._CMP_SIGNED.get(op)
+            width = max(_scw(a), _scw(b))
+        if build is None:
+            raise PyEvalError("unsupported comparison %s" % op.__name__)
+        return SymInt(build(_grow(a, width), _grow(b, width)), False)
+
+    def _ternary(self, node: ast.IfExp, env, machine) -> SymInt:
+        cond = self.to_bool(self.eval(node.test, env, machine))
+        if cond.is_const():
+            chosen = node.body if cond.value == 1 else node.orelse
+            return self.eval(chosen, env, machine)
+        # Symbolic condition: evaluate both arms (the reference
+        # evaluator's IteExpr convention, keeping effect logs aligned).
+        then = self.eval(node.body, env, machine)
+        other = self.eval(node.orelse, env, machine)
+        if then.signed or other.signed:
+            width = max(_scw(then), _scw(other))
+            return SymInt(T.ite(cond, _grow(then, width),
+                                _grow(other, width)), True)
+        width = max(then.width, other.width)
+        return SymInt(T.ite(cond, _grow(then, width),
+                            _grow(other, width)), False)
+
+    # -- calls ---------------------------------------------------------------
+
+    def _int_arg(self, node: ast.expr, what: str) -> int:
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return node.value
+        raise PyEvalError("expected literal %s argument" % what)
+
+    def _call(self, node: ast.Call, env, machine):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return self._helper(func.id, node.args, env, machine)
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name) \
+                and func.value.id == "C":
+            return self._machine_call(func.attr, node.args, env, machine)
+        raise PyEvalError("unsupported call")
+
+    def _helper(self, name: str, args, env, machine) -> SymInt:
+        if name not in ("_udiv", "_urem", "_sdiv", "_srem", "_shl",
+                        "_lshr", "_ashr"):
+            raise PyEvalError("unknown helper %r" % name)
+        left = self.eval(args[0], env, machine)
+        right = self.eval(args[1], env, machine)
+        if name == "_urem":
+            width = max(left.width, right.width)
+            return SymInt(T.urem(_grow(left, width), _grow(right, width)),
+                          False)
+        if name == "_udiv":
+            width = self._int_arg(args[2], "mask").bit_length()
+        else:
+            width = self._int_arg(args[2], "width")
+        build = {"_udiv": T.udiv, "_sdiv": T.sdiv, "_srem": T.srem,
+                 "_shl": T.shl, "_lshr": T.lshr, "_ashr": T.ashr}[name]
+        return SymInt(build(self.to_bits(left, width, machine),
+                            self.to_bits(right, width, machine)),
+                      False)
+
+    def _machine_call(self, attr: str, args, env,
+                      machine: MachineState):
+        if attr == "current_pc":
+            return SymInt(machine.pc(machine.pre.pc_width), False)
+        if attr == "input_byte":
+            return SymInt(machine.input_byte(), False)
+        if attr == "read_reg":
+            regfile = self._str_arg(args[0])
+            index = self._index_arg(args[1], env, machine)
+            return SymInt(machine.read_reg(regfile, index), False)
+        if attr == "load":
+            addr = self.eval(args[0], env, machine)
+            size = self._int_arg(args[1], "size")
+            return SymInt(machine.load(self._addr_term(addr, machine),
+                                       size), False)
+        if attr == "write_reg":
+            regfile = self._str_arg(args[0])
+            index = self._index_arg(args[1], env, machine)
+            value = self.eval(args[2], env, machine)
+            width = machine.reg_widths.get(regfile)
+            if width is None:
+                raise PyEvalError("unknown register space %r" % regfile)
+            machine.write_reg(regfile, index,
+                              self.to_bits(value, width, machine))
+            return None
+        if attr == "store":
+            addr = self.eval(args[0], env, machine)
+            value = self.eval(args[1], env, machine)
+            size = self._int_arg(args[2], "size")
+            machine.store(self._addr_term(addr, machine),
+                          self.to_bits(value, 8 * size, machine), size)
+            return None
+        if attr == "output_byte":
+            value = self.eval(args[0], env, machine)
+            machine.output_byte(self.to_bits(value, 8, machine))
+            return None
+        raise PyEvalError("unsupported machine call C.%s" % attr)
+
+    def _str_arg(self, node: ast.expr) -> str:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        raise PyEvalError("expected literal string argument")
+
+    def _addr_term(self, addr: SymInt,
+                   machine: MachineState) -> T.Term:
+        return addr.term if not addr.signed \
+            else self.to_bits(addr, addr.width, machine)
+
+    def _index_arg(self, node: ast.expr, env,
+                   machine: MachineState) -> Optional[T.Term]:
+        value = self.eval(node, env, machine)
+        if value is None:
+            return None
+        if not isinstance(value, SymInt):
+            raise PyEvalError("unsupported register index")
+        return value.term if not value.signed \
+            else self.to_bits(value, value.width, machine)
+
+    # -- statements ----------------------------------------------------------
+
+    def run(self, body, machine: MachineState) -> List[Path]:
+        return self._run(machine, [(tuple(body), 0)], {}, SymOutcome(),
+                         ())
+
+    def _run(self, machine: MachineState, frames, env: Dict[str, SymInt],
+             outcome: SymOutcome,
+             guards: Tuple[T.Term, ...]) -> List[Path]:
+        while frames:
+            stmts, index = frames[-1]
+            if index >= len(stmts):
+                frames.pop()
+                continue
+            frames[-1] = (stmts, index + 1)
+            stmt = stmts[index]
+            if isinstance(stmt, ast.Assign):
+                self._assign(stmt, env, machine, outcome)
+            elif isinstance(stmt, ast.Expr):
+                if not isinstance(stmt.value, ast.Call):
+                    raise PyEvalError("unsupported expression statement")
+                self.eval(stmt.value, env, machine)
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    raise PyEvalError("unexpected return value")
+                return [(machine, outcome, guards)]
+            elif isinstance(stmt, ast.Pass):
+                continue
+            elif isinstance(stmt, ast.If):
+                cond = self.to_bool(self.eval(stmt.test, env, machine))
+                if cond.is_const():
+                    body = stmt.body if cond.value == 1 else stmt.orelse
+                    if body:
+                        frames.append((tuple(body), 0))
+                    continue
+                return self._fork(machine, stmt, cond, frames, env,
+                                  outcome, guards)
+            else:
+                raise PyEvalError("unsupported statement %s"
+                                  % type(stmt).__name__)
+        return [(machine, outcome, guards)]
+
+    def _assign(self, stmt: ast.Assign, env, machine: MachineState,
+                outcome: SymOutcome) -> None:
+        if len(stmt.targets) != 1:
+            raise PyEvalError("unsupported multi-target assignment")
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name):
+            value = self.eval(stmt.value, env, machine)
+            if not isinstance(value, SymInt):
+                raise PyEvalError("assignment of non-int value")
+            env[target.id] = value
+            return
+        if isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id == "O":
+            value = self.eval(stmt.value, env, machine)
+            if target.attr in ("halted", "trapped"):
+                if value is not True:
+                    raise PyEvalError("unexpected outcome flag value")
+                setattr(outcome, target.attr, True)
+                return
+            if target.attr in ("next_pc", "exit_code", "trap_code"):
+                if not isinstance(value, SymInt):
+                    raise PyEvalError("assignment of non-int outcome")
+                term = value.term if not value.signed \
+                    else self.to_bits(value, value.width, machine)
+                setattr(outcome, target.attr, term)
+                return
+        raise PyEvalError("unsupported assignment target")
+
+    def _fork(self, machine: MachineState, stmt: ast.If, cond: T.Term,
+              frames, env, outcome: SymOutcome,
+              guards: Tuple[T.Term, ...]) -> List[Path]:
+        results: List[Path] = []
+        branches = ((cond, stmt.body), (T.not_(cond), stmt.orelse))
+        for position, (branch_cond, body) in enumerate(branches):
+            last = position == len(branches) - 1
+            branch_machine = machine if last else machine.fork()
+            branch_frames = [(block, idx) for block, idx in frames]
+            if body:
+                branch_frames.append((tuple(body), 0))
+            results.extend(self._run(branch_machine, branch_frames,
+                                     dict(env), outcome.copy(),
+                                     guards + (branch_cond,)))
+        return results
+
+
+def exec_function(source: str, machine: MachineState,
+                  fields: Dict[str, T.Term]) -> List[Path]:
+    """Symbolically execute one generated transfer function's source."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        raise PyEvalError("generated source does not parse: %s" % error)
+    for top in tree.body:
+        if isinstance(top, ast.FunctionDef):
+            return _Evaluator(fields).run(top.body, machine)
+    raise PyEvalError("no function definition in generated source")

@@ -6,8 +6,10 @@ import os
 import pytest
 
 from repro.lint import (
+    FAMILIES,
     SMT,
     STRUCTURAL,
+    TRANSVAL,
     Baseline,
     Finding,
     LintConfig,
@@ -42,11 +44,12 @@ class TestRegistry:
                          "smt-obligations"):
             assert expected in ids
 
-    def test_structural_passes_come_first(self):
+    def test_passes_grouped_in_family_order(self):
         families = [p.family for p in all_passes()]
-        first_smt = families.index(SMT)
-        assert all(f == SMT for f in families[first_smt:])
-        assert all(f == STRUCTURAL for f in families[:first_smt])
+        # structural, then smt, then transval — never interleaved.
+        assert families == sorted(families, key=FAMILIES.index)
+        assert families.index(SMT) > 0
+        assert TRANSVAL in families
 
     def test_pass_by_id_unknown(self):
         with pytest.raises(KeyError):
@@ -67,10 +70,23 @@ class TestConfig:
                    for f in report.findings)
 
     def test_disable_removes(self):
-        config = LintConfig(disable=["smt-completeness"])
+        config = LintConfig(disable=["smt-completeness"],
+                            families=[STRUCTURAL, SMT])
         report = run_lint(fixture("clean"), config=config)
         assert "smt-completeness" not in report.passes_run
         assert not report.findings  # completeness was the only reporter
+
+    def test_family_restricts(self):
+        config = LintConfig(families=[TRANSVAL])
+        report = run_lint(fixture("clean"), config=config)
+        assert report.passes_run == ["transval-concrete",
+                                     "transval-symbolic"]
+        assert all(f.pass_id.startswith("transval-")
+                   for f in report.findings)
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            LintConfig(families=["bogus"]).selected_passes()
 
     def test_unknown_pass_id_raises(self):
         with pytest.raises(KeyError):

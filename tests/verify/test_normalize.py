@@ -1,0 +1,94 @@
+"""Soundness of the truncation push-down normalizer.
+
+``canon(t, w)`` must agree with ``t`` on the low ``w`` bits under every
+assignment — it is the identity the whole translation validator leans
+on when it collapses generated ``& 0xffffffff`` masks onto reference
+terms.  Checked here by exhaustive/random concrete evaluation, no
+solver involved.
+"""
+
+import random
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.normalize import canon, lower
+
+
+def _vars():
+    a = T.var("nrm_a", 8)
+    b = T.var("nrm_b", 8)
+    c = T.var("nrm_c", 16)
+    return a, b, c
+
+
+def _sample_terms():
+    a, b, c = _vars()
+    return [
+        T.add(a, b),
+        T.sub(a, b),
+        T.mul(a, b),
+        T.and_(a, T.bv(0x0F, 8)),
+        T.or_(a, b),
+        T.xor(a, b),
+        T.not_(a),
+        T.zext(T.add(a, b), 8),
+        T.sext(a, 8),
+        T.concat(a, b),
+        T.extract(c, 11, 4),
+        T.shl(T.zext(a, 8), T.bv(3, 16)),
+        T.ite(T.eq(a, b), T.add(a, T.bv(1, 8)), b),
+        T.and_(T.zext(T.add(a, b), 24), T.bv(0xFFFF, 32)),
+        T.add(T.zext(a, 24), T.zext(T.mul(b, b), 24)),
+        T.sext(T.extract(T.add(a, b), 7, 0), 8),
+    ]
+
+
+def _assignments(count=64, seed=1234):
+    rng = random.Random(seed)
+    rows = []
+    for _ in range(count):
+        rows.append({"nrm_a": rng.randrange(1 << 8),
+                     "nrm_b": rng.randrange(1 << 8),
+                     "nrm_c": rng.randrange(1 << 16)})
+    rows.append({"nrm_a": 0, "nrm_b": 0, "nrm_c": 0})
+    rows.append({"nrm_a": 0xFF, "nrm_b": 0xFF, "nrm_c": 0xFFFF})
+    return rows
+
+
+@pytest.mark.parametrize("position", range(len(_sample_terms())))
+def test_lower_preserves_low_bits(position):
+    term = _sample_terms()[position]
+    for width in sorted({1, 3, term.width // 2 or 1, term.width}):
+        narrowed = lower(term, width, {})
+        assert narrowed.width == width
+        for env in _assignments():
+            assert T.evaluate(narrowed, env) \
+                == T.evaluate(term, env) & T.mask(width), (term, width)
+
+
+@pytest.mark.parametrize("position", range(len(_sample_terms())))
+def test_canon_is_semantics_preserving(position):
+    term = _sample_terms()[position]
+    canonical = canon(term, term.width, {}, {})
+    for env in _assignments(count=32):
+        assert T.evaluate(canonical, env) == T.evaluate(term, env)
+
+
+def test_canon_collapses_full_width_mask():
+    a, b, _ = _vars()
+    summed = canon(T.add(a, b), 8, {}, {})
+    masked = canon(T.and_(T.add(a, b), T.bv(0xFF, 8)), 8, {}, {})
+    assert masked is summed  # hash-consed identity, not mere equality
+
+
+def test_canon_folds_zext_then_truncate():
+    a, _, _ = _vars()
+    widened = T.extract(T.zext(a, 24), 7, 0)
+    assert canon(widened, 8, {}, {}) is canon(a, 8, {}, {})
+
+
+def test_lower_rejects_widening():
+    a, _, _ = _vars()
+    with pytest.raises(T.WidthError):
+        lower(a, 16, {})
